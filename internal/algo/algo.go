@@ -1,0 +1,213 @@
+package algo
+
+import (
+	"math"
+
+	"layph/internal/graph"
+)
+
+// Algorithm is a vertex-centric iterative computation in the accumulative
+// model A = (F, G, X0, M0) of Equation (1). F and G are induced by the
+// semiring; what remains algorithm-specific is the per-edge semiring weight
+// (e.g. PageRank maps an edge (u,v) to d/N⁺(u)), the initial states and root
+// messages, and the convergence tolerance.
+type Algorithm interface {
+	// Name identifies the workload ("sssp", "bfs", "pagerank", "php").
+	Name() string
+	// Semiring returns the algebra F and G are built from.
+	Semiring() Semiring
+	// EdgeWeight maps a raw graph edge u→e.To with raw weight e.W to the
+	// semiring weight used by F. It may consult g (PageRank reads u's
+	// out-degree; PHP reads u's total out-weight).
+	EdgeWeight(g *graph.Graph, u graph.VertexID, e graph.Edge) float64
+	// InitState returns x0(v).
+	InitState(v graph.VertexID) float64
+	// InitMessage returns m0(v), the root message of v.
+	InitMessage(v graph.VertexID) float64
+	// Tolerance is the message-significance threshold: messages whose effect
+	// on a state is below it are dropped, which is also the convergence
+	// criterion (the paper uses 1e-6 for PageRank and PHP; exact-change for
+	// SSSP and BFS).
+	Tolerance() float64
+}
+
+// SSSP computes single-source shortest paths over the tropical semiring:
+// F(m,w) = m + w, G = min, x0 = m0 = 0 at the source and +∞ elsewhere.
+type SSSP struct {
+	Source graph.VertexID
+}
+
+// NewSSSP returns an SSSP instance rooted at source.
+func NewSSSP(source graph.VertexID) *SSSP { return &SSSP{Source: source} }
+
+// Name returns "sssp".
+func (*SSSP) Name() string { return "sssp" }
+
+// Semiring returns the tropical semiring.
+func (*SSSP) Semiring() Semiring { return Tropical{} }
+
+// EdgeWeight returns the raw edge weight.
+func (*SSSP) EdgeWeight(_ *graph.Graph, _ graph.VertexID, e graph.Edge) float64 { return e.W }
+
+// InitState returns 0 for the source, +∞ otherwise.
+func (a *SSSP) InitState(v graph.VertexID) float64 {
+	if v == a.Source {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+// InitMessage mirrors InitState per Example 1(a).
+func (a *SSSP) InitMessage(v graph.VertexID) float64 { return a.InitState(v) }
+
+// Tolerance returns 0: shortest distances converge exactly.
+func (*SSSP) Tolerance() float64 { return 0 }
+
+// BFS computes hop distance from a source: SSSP with unit edge weights.
+type BFS struct {
+	Source graph.VertexID
+}
+
+// NewBFS returns a BFS instance rooted at source.
+func NewBFS(source graph.VertexID) *BFS { return &BFS{Source: source} }
+
+// Name returns "bfs".
+func (*BFS) Name() string { return "bfs" }
+
+// Semiring returns the tropical semiring.
+func (*BFS) Semiring() Semiring { return Tropical{} }
+
+// EdgeWeight returns 1 regardless of the raw weight.
+func (*BFS) EdgeWeight(_ *graph.Graph, _ graph.VertexID, _ graph.Edge) float64 { return 1 }
+
+// InitState returns 0 for the source, +∞ otherwise.
+func (a *BFS) InitState(v graph.VertexID) float64 {
+	if v == a.Source {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+// InitMessage mirrors InitState.
+func (a *BFS) InitMessage(v graph.VertexID) float64 { return a.InitState(v) }
+
+// Tolerance returns 0: hop counts converge exactly.
+func (*BFS) Tolerance() float64 { return 0 }
+
+// PageRank computes ranking scores in asynchronous delta-accumulative form
+// (Example 1(b)): F(m, ·) = m·d/N⁺(u), G = sum, x0 = 0, m0 = 1-d. The fixpoint
+// equals the power-method PageRank.
+type PageRank struct {
+	Damping float64
+	Tol     float64
+}
+
+// NewPageRank returns a PageRank instance with damping factor d (the paper
+// uses 0.85) and convergence tolerance tol (the paper uses 1e-6).
+func NewPageRank(d, tol float64) *PageRank { return &PageRank{Damping: d, Tol: tol} }
+
+// Name returns "pagerank".
+func (*PageRank) Name() string { return "pagerank" }
+
+// Semiring returns the real semiring.
+func (*PageRank) Semiring() Semiring { return Real{} }
+
+// EdgeWeight returns d / N⁺(u); the raw weight is ignored (PageRank is an
+// unweighted random surfer).
+func (a *PageRank) EdgeWeight(g *graph.Graph, u graph.VertexID, _ graph.Edge) float64 {
+	return a.Damping / float64(g.OutDegree(u))
+}
+
+// InitState returns 0.
+func (*PageRank) InitState(graph.VertexID) float64 { return 0 }
+
+// InitMessage returns 1 - d.
+func (a *PageRank) InitMessage(graph.VertexID) float64 { return 1 - a.Damping }
+
+// Tolerance returns the configured tolerance.
+func (a *PageRank) Tolerance() float64 { return a.Tol }
+
+// PHP computes penalized hitting probability from a source: a decayed
+// weighted random walk, x_v = Σ_u d·w(u,v)/W⁺(u)·x_u with the source pinned
+// by a unit root message. Rewritten accumulatively exactly like PageRank.
+type PHP struct {
+	Source  graph.VertexID
+	Damping float64
+	Tol     float64
+}
+
+// NewPHP returns a PHP instance rooted at source with decay d and tolerance
+// tol.
+func NewPHP(source graph.VertexID, d, tol float64) *PHP {
+	return &PHP{Source: source, Damping: d, Tol: tol}
+}
+
+// Name returns "php".
+func (*PHP) Name() string { return "php" }
+
+// Semiring returns the real semiring.
+func (*PHP) Semiring() Semiring { return Real{} }
+
+// EdgeWeight returns d·w(u,v) / W⁺(u), the decayed transition probability.
+func (a *PHP) EdgeWeight(g *graph.Graph, u graph.VertexID, e graph.Edge) float64 {
+	total := g.OutWeightSum(u)
+	if total == 0 {
+		return 0
+	}
+	return a.Damping * e.W / total
+}
+
+// InitState returns 0.
+func (*PHP) InitState(graph.VertexID) float64 { return 0 }
+
+// InitMessage returns 1 at the source, 0 elsewhere.
+func (a *PHP) InitMessage(v graph.VertexID) float64 {
+	if v == a.Source {
+		return 1
+	}
+	return 0
+}
+
+// Tolerance returns the configured tolerance.
+func (a *PHP) Tolerance() float64 { return a.Tol }
+
+// StatesClose reports whether two state vectors agree within atol on every
+// live entry; +∞ entries must match exactly. It is the comparison used by all
+// correctness tests (incremental result vs. batch restart).
+func StatesClose(a, b []float64, atol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		ai, bi := a[i], b[i]
+		if math.IsInf(ai, 1) != math.IsInf(bi, 1) {
+			return false
+		}
+		if math.IsInf(ai, 1) {
+			continue
+		}
+		if math.Abs(ai-bi) > atol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxStateDiff returns the largest absolute difference between two state
+// vectors, treating a finite-vs-infinite mismatch as +∞.
+func MaxStateDiff(a, b []float64) float64 {
+	var worst float64
+	for i := range a {
+		ai, bi := a[i], b[i]
+		if math.IsInf(ai, 1) != math.IsInf(bi, 1) {
+			return math.Inf(1)
+		}
+		if math.IsInf(ai, 1) {
+			continue
+		}
+		if d := math.Abs(ai - bi); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

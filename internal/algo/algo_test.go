@@ -1,0 +1,167 @@
+package algo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"layph/internal/graph"
+)
+
+func TestTropicalLaws(t *testing.T) {
+	sr := Tropical{}
+	if !sr.Idempotent() {
+		t.Fatal("tropical must be idempotent")
+	}
+	if sr.Name() != "tropical" {
+		t.Fatal("name")
+	}
+	f := func(a, b, c float64) bool {
+		a, b, c = math.Abs(a), math.Abs(b), math.Abs(c)
+		// Associativity and commutativity of Plus; identity laws.
+		if sr.Plus(a, sr.Plus(b, c)) != sr.Plus(sr.Plus(a, b), c) {
+			return false
+		}
+		if sr.Plus(a, b) != sr.Plus(b, a) {
+			return false
+		}
+		if sr.Plus(a, sr.Zero()) != a {
+			return false
+		}
+		if sr.Times(a, sr.One()) != a {
+			return false
+		}
+		// Zero annihilates Times.
+		if !math.IsInf(sr.Times(a, sr.Zero()), 1) {
+			return false
+		}
+		// Distributivity: a ⊗ (b ⊕ c) == (a⊗b) ⊕ (a⊗c).
+		return sr.Times(a, sr.Plus(b, c)) == sr.Plus(sr.Times(a, b), sr.Times(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Plus(3, 3) != 3 {
+		t.Fatal("min(3,3) != 3")
+	}
+}
+
+func TestRealLaws(t *testing.T) {
+	sr := Real{}
+	if sr.Idempotent() {
+		t.Fatal("real must not be idempotent")
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 1e100 || math.Abs(b) > 1e100 {
+			return true
+		}
+		if sr.Plus(a, sr.Zero()) != a {
+			return false
+		}
+		if sr.Times(a, sr.One()) != a {
+			return false
+		}
+		return sr.Times(a, sr.Zero()) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSSPDefinition(t *testing.T) {
+	a := NewSSSP(3)
+	if a.Name() != "sssp" || a.Semiring().Name() != "tropical" {
+		t.Fatal("identity")
+	}
+	if a.InitState(3) != 0 || !math.IsInf(a.InitState(0), 1) {
+		t.Fatal("init state")
+	}
+	if a.InitMessage(3) != 0 || !math.IsInf(a.InitMessage(1), 1) {
+		t.Fatal("init message")
+	}
+	g := graph.New(2)
+	g.AddEdge(0, 1, 4.5)
+	if w := a.EdgeWeight(g, 0, graph.Edge{To: 1, W: 4.5}); w != 4.5 {
+		t.Fatalf("EdgeWeight = %v", w)
+	}
+	if a.Tolerance() != 0 {
+		t.Fatal("tolerance")
+	}
+}
+
+func TestBFSDefinition(t *testing.T) {
+	a := NewBFS(0)
+	if w := a.EdgeWeight(nil, 0, graph.Edge{To: 1, W: 7}); w != 1 {
+		t.Fatalf("BFS weight = %v, want 1", w)
+	}
+	if a.InitState(0) != 0 || !math.IsInf(a.InitState(1), 1) {
+		t.Fatal("init")
+	}
+}
+
+func TestPageRankDefinition(t *testing.T) {
+	a := NewPageRank(0.85, 1e-6)
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	if w := a.EdgeWeight(g, 0, graph.Edge{To: 1}); math.Abs(w-0.425) > 1e-12 {
+		t.Fatalf("EdgeWeight = %v, want 0.425", w)
+	}
+	if a.InitState(0) != 0 {
+		t.Fatal("x0")
+	}
+	if m := a.InitMessage(0); math.Abs(m-0.15) > 1e-12 {
+		t.Fatalf("m0 = %v, want 0.15", m)
+	}
+}
+
+func TestPHPDefinition(t *testing.T) {
+	a := NewPHP(1, 0.8, 1e-6)
+	g := graph.New(3)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(0, 2, 1)
+	if w := a.EdgeWeight(g, 0, graph.Edge{To: 1, W: 3}); math.Abs(w-0.6) > 1e-12 {
+		t.Fatalf("EdgeWeight = %v, want 0.6", w)
+	}
+	// Sink vertex: no out-weight, transition probability 0.
+	if w := a.EdgeWeight(g, 2, graph.Edge{To: 0, W: 1}); w != 0 {
+		t.Fatalf("sink EdgeWeight = %v", w)
+	}
+	if a.InitMessage(1) != 1 || a.InitMessage(0) != 0 {
+		t.Fatal("m0")
+	}
+}
+
+func TestStatesClose(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		a, b []float64
+		tol  float64
+		want bool
+	}{
+		{[]float64{1, 2}, []float64{1, 2}, 0, true},
+		{[]float64{1, 2}, []float64{1, 2.1}, 0.2, true},
+		{[]float64{1, 2}, []float64{1, 2.1}, 0.01, false},
+		{[]float64{inf, 2}, []float64{inf, 2}, 0, true},
+		{[]float64{inf, 2}, []float64{5, 2}, 100, false},
+		{[]float64{1}, []float64{1, 2}, 0, false},
+	}
+	for i, c := range cases {
+		if got := StatesClose(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("case %d: got %v", i, got)
+		}
+	}
+}
+
+func TestMaxStateDiff(t *testing.T) {
+	inf := math.Inf(1)
+	if d := MaxStateDiff([]float64{1, 5}, []float64{1, 2}); d != 3 {
+		t.Fatalf("diff = %v", d)
+	}
+	if d := MaxStateDiff([]float64{inf}, []float64{inf}); d != 0 {
+		t.Fatalf("inf diff = %v", d)
+	}
+	if d := MaxStateDiff([]float64{inf}, []float64{1}); !math.IsInf(d, 1) {
+		t.Fatalf("mismatch diff = %v", d)
+	}
+}

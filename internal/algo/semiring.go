@@ -1,0 +1,89 @@
+// Package algo defines the asynchronous accumulative vertex-centric model of
+// the paper's Equation (1): an algorithm is a pair of operations — message
+// generation F and message aggregation G — plus initial states X0 and root
+// messages M0. F and G are induced by a semiring: SSSP and BFS run over the
+// tropical (min,+) semiring, PageRank and PHP over the real (+,×) semiring
+// after the standard rewrite into delta-accumulative form [Maiter].
+//
+// The semiring view is what lets Layph deduce shortcut weights automatically
+// (Definition 3 / Equation 6): a shortcut weight is the aggregate, under G, of
+// the unit message 1̄ propagated through a subgraph by F.
+package algo
+
+import "math"
+
+// Semiring supplies the algebra (⊕, ⊗, 0̄, 1̄) behind F and G.
+//
+// G aggregates with Plus; F composes a message with an edge weight using
+// Times. Zero is the identity of Plus (and must annihilate Times); One is the
+// identity of Times and serves as the unit message injected during shortcut
+// deduction.
+type Semiring interface {
+	// Plus is the aggregation ⊕ (paper's G).
+	Plus(a, b float64) float64
+	// Times composes a message with a (semiring) edge weight ⊗ (paper's F).
+	Times(a, b float64) float64
+	// Zero is the ⊕-identity: min-plus uses +∞, sum-times uses 0.
+	Zero() float64
+	// One is the ⊗-identity: min-plus uses 0, sum-times uses 1.
+	One() float64
+	// Idempotent reports whether a ⊕ a == a (true for min). Idempotent
+	// algorithms admit dependency-tree incrementalization; non-idempotent
+	// ones admit inverse-delta (compensation/cancellation) messages.
+	Idempotent() bool
+	// Name identifies the semiring in logs and test output.
+	Name() string
+}
+
+// Tropical is the (min, +, +∞, 0) semiring used by SSSP and BFS.
+type Tropical struct{}
+
+// Plus returns min(a, b).
+func (Tropical) Plus(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Times returns a + b, saturating at +∞.
+func (Tropical) Times(a, b float64) float64 {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.Inf(1)
+	}
+	return a + b
+}
+
+// Zero returns +∞.
+func (Tropical) Zero() float64 { return math.Inf(1) }
+
+// One returns 0.
+func (Tropical) One() float64 { return 0 }
+
+// Idempotent returns true: min(a,a) == a.
+func (Tropical) Idempotent() bool { return true }
+
+// Name returns "tropical".
+func (Tropical) Name() string { return "tropical" }
+
+// Real is the (+, ×, 0, 1) semiring used by PageRank and PHP in
+// delta-accumulative form.
+type Real struct{}
+
+// Plus returns a + b.
+func (Real) Plus(a, b float64) float64 { return a + b }
+
+// Times returns a × b.
+func (Real) Times(a, b float64) float64 { return a * b }
+
+// Zero returns 0.
+func (Real) Zero() float64 { return 0 }
+
+// One returns 1.
+func (Real) One() float64 { return 1 }
+
+// Idempotent returns false: a + a != a for a != 0.
+func (Real) Idempotent() bool { return false }
+
+// Name returns "real".
+func (Real) Name() string { return "real" }

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"layph/internal/delta"
+	"layph/internal/gen"
+	"layph/internal/graph"
+)
+
+// tiny returns options small enough for unit tests.
+func tiny() Options {
+	return Options{Scale: 0.02, Threads: 2, Batches: 1, BatchSize: 100, Seed: 7}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	w1 := NewWorkload(gen.PresetUK, 0.02, 2, 50, 9)
+	w2 := NewWorkload(gen.PresetUK, 0.02, 2, 50, 9)
+	if len(w1.Batches) != 2 || len(w2.Batches) != 2 {
+		t.Fatal("batch count")
+	}
+	for i := range w1.Batches {
+		if len(w1.Batches[i]) != len(w2.Batches[i]) {
+			t.Fatalf("batch %d length differs", i)
+		}
+		for j := range w1.Batches[i] {
+			if w1.Batches[i][j] != w2.Batches[i][j] {
+				t.Fatalf("batch %d item %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestRunSystemAllKinds(t *testing.T) {
+	wl := NewWorkload(gen.PresetUK, 0.02, 1, 60, 3)
+	for _, k := range MinSystems {
+		r := RunSystem(wl, k, Algorithms()["SSSP"], 2)
+		if r.UpdateSeconds <= 0 {
+			t.Fatalf("%s: no update time", k)
+		}
+	}
+	for _, k := range SumSystems {
+		r := RunSystem(wl, k, Algorithms()["PR"], 2)
+		if r.UpdateSeconds <= 0 {
+			t.Fatalf("%s: no update time", k)
+		}
+	}
+	r := RunSystem(wl, LayphNoRepl, Algorithms()["PR"], 2)
+	if r.Layered == nil {
+		t.Fatal("layph-norepl should expose the layered handle")
+	}
+}
+
+func TestSystemsAgreeOnStates(t *testing.T) {
+	// All systems replay identical batches, so their final states must
+	// agree with the restart baseline on the final graph's live vertices.
+	wl := NewWorkload(gen.PresetWB, 0.02, 2, 80, 5)
+	mk := Algorithms()["PR"]
+	// Materialize the final graph to know which vertices are live.
+	final := wl.Graph.Clone()
+	for _, b := range wl.Batches {
+		delta.Apply(final, b)
+	}
+	base := RunSystem(wl, Restart, mk, 2)
+	baseSys, _ := buildSystem(Restart, final.Clone(), mk, 2)
+	_ = base
+	want := baseSys.States()
+	for _, k := range []SystemKind{GraphBolt, DZiG, Ingress, Layph} {
+		r := RunSystem(wl, k, mk, 2)
+		sys := r
+		got := stateOf(wl, k, mk)
+		ok := true
+		final.Vertices(func(v graph.VertexID) {
+			if ok && mathAbs(got[v]-want[v]) > 1e-4 {
+				ok = false
+				t.Logf("%s: vertex %d got %v want %v", k, v, got[v], want[v])
+			}
+		})
+		if !ok {
+			t.Fatalf("%s diverges from restart (last stats %+v)", k, sys.LastStats)
+		}
+	}
+}
+
+func stateOf(w *Workload, k SystemKind, mk AlgoMaker) []float64 {
+	g := w.Graph.Clone()
+	sys, _ := buildSystem(k, g, mk, 2)
+	for _, b := range w.Batches {
+		applied := delta.Apply(g, b)
+		sys.Update(applied)
+	}
+	return sys.States()
+}
+
+func mathAbs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestBuildSystemUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	buildSystem(SystemKind("nope"), nil, Algorithms()["PR"], 1)
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := NewTable("a", "bee")
+	tbl.Row("x", 1.23456)
+	tbl.Row("longer", 2)
+	var buf bytes.Buffer
+	tbl.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "1.235") {
+		t.Fatalf("table output: %q", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Fatalf("want 4 lines, got %q", out)
+	}
+}
+
+func TestExperimentsRunQuickly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments skipped in -short")
+	}
+	o := tiny()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			e.Run(&buf, o)
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig7"); !ok {
+		t.Fatal("fig7 missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+func TestVertexWorkload(t *testing.T) {
+	w := NewVertexWorkload(gen.PresetUK, 0.02, 2, 20, 3)
+	if len(w.Batches) != 2 {
+		t.Fatal("batches")
+	}
+	r := RunSystem(w, Layph, Algorithms()["PR"], 2)
+	if r.UpdateSeconds <= 0 {
+		t.Fatal("no time")
+	}
+}
+
+func TestSortedSystems(t *testing.T) {
+	rs := []SystemResult{{System: Layph}, {System: Restart}, {System: Ingress}}
+	out := SortedSystems(rs, []SystemKind{Restart, Ingress, Layph})
+	if out[0].System != Restart || out[2].System != Layph {
+		t.Fatalf("order: %v", out)
+	}
+}

@@ -1,0 +1,144 @@
+package community
+
+import (
+	"layph/internal/delta"
+	"layph/internal/graph"
+)
+
+// Adjust incrementally maintains a partition after a graph update, in the
+// spirit of DynaMo / C-Blondel: instead of re-running detection from
+// scratch, only the vertices touched by ΔG (and fresh vertices) are
+// re-evaluated with Louvain local moves against the current partition.
+// Community ids are kept stable — the layered-graph updater relies on id
+// stability to localize shortcut recomputation. Emptied communities keep
+// their (now unused) id; vertices moving to a fresh singleton get a new id.
+//
+// It returns the set of community ids whose membership changed (including
+// ids that gained or lost vertices), which is exactly the set of subgraphs
+// whose layer structures must be refreshed.
+func Adjust(g *graph.Graph, p *Partition, cfg Config, applied *delta.Applied) map[int32]struct{} {
+	changed := make(map[int32]struct{})
+	// Grow the assignment for fresh vertices.
+	for len(p.Comm) < g.Cap() {
+		p.Comm = append(p.Comm, NoCommunity)
+	}
+
+	// Community aggregates over the undirected view.
+	var total2 float64
+	ctot := make([]float64, p.NumComms)
+	csize := make([]int, p.NumComms)
+	g.Vertices(func(v graph.VertexID) {
+		d := g.UndirectedWeight(v)
+		total2 += d
+		if c := p.Comm[v]; c >= 0 && int(c) < p.NumComms {
+			ctot[c] += d
+			csize[c]++
+		}
+	})
+	if total2 == 0 {
+		return changed
+	}
+
+	newCommunity := func(v graph.VertexID) int32 {
+		id := int32(p.NumComms)
+		p.NumComms++
+		ctot = append(ctot, 0)
+		csize = append(csize, 0)
+		p.Comm[v] = id
+		return id
+	}
+
+	attach := func(v graph.VertexID, c int32) {
+		p.Comm[v] = c
+		ctot[c] += g.UndirectedWeight(v)
+		csize[c]++
+		changed[c] = struct{}{}
+	}
+
+	// Removed vertices leave their community. The aggregates above were
+	// computed on the post-removal graph and never counted them, so only
+	// the assignment is cleared.
+	for _, v := range applied.RemovedVertices {
+		if c := p.Comm[v]; c >= 0 {
+			changed[c] = struct{}{}
+			p.Comm[v] = NoCommunity
+		}
+	}
+
+	// Candidates for re-evaluation: added vertices plus endpoints of
+	// changed edges.
+	seen := make(map[graph.VertexID]struct{})
+	var cands []graph.VertexID
+	add := func(v graph.VertexID) {
+		if !g.Alive(v) {
+			return
+		}
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			cands = append(cands, v)
+		}
+	}
+	for _, v := range applied.AddedVertices {
+		add(v)
+	}
+	for _, e := range applied.AddedEdges {
+		add(e.From)
+		add(e.To)
+	}
+	for _, e := range applied.RemovedEdges {
+		add(e.From)
+		add(e.To)
+	}
+
+	for _, v := range cands {
+		// Weight from v to each neighbor community.
+		wTo := make(map[int32]float64)
+		g.NeighborsUndirected(v, func(u graph.VertexID, w float64) {
+			if u == v {
+				return
+			}
+			if c := p.Comm[u]; c >= 0 {
+				wTo[c] += w
+			}
+		})
+		dv := g.UndirectedWeight(v)
+		cur := p.Comm[v]
+
+		// Evaluate as if detached.
+		if cur >= 0 {
+			ctot[cur] -= dv
+			csize[cur]--
+		}
+		best := cur
+		bestGain := 0.0
+		if cur >= 0 {
+			bestGain = wTo[cur] - dv*ctot[cur]/total2
+		}
+		for c, w := range wTo {
+			if c == cur {
+				continue
+			}
+			if cfg.MaxSize > 0 && csize[c]+1 > cfg.MaxSize {
+				continue
+			}
+			if gain := w - dv*ctot[c]/total2; gain > bestGain+cfg.minGain() {
+				bestGain = gain
+				best = c
+			}
+		}
+		switch {
+		case best == cur && cur >= 0:
+			ctot[cur] += dv
+			csize[cur]++
+		case best >= 0 && best != cur:
+			if cur >= 0 {
+				changed[cur] = struct{}{}
+				p.Comm[v] = NoCommunity
+			}
+			attach(v, best)
+		case cur < 0 && best < 0:
+			attach(v, newCommunity(v))
+		}
+	}
+	return changed
+}

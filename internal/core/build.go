@@ -1,0 +1,169 @@
+package core
+
+import (
+	"time"
+
+	"layph/internal/algo"
+	"layph/internal/community"
+	"layph/internal/engine"
+	"layph/internal/graph"
+	"layph/internal/metrics"
+)
+
+// New builds the layered graph for g under algorithm a (offline phase) and
+// runs the initial batch computation over the flat layered graph, memoizing
+// states (and dependency parents for idempotent algorithms).
+func New(g *graph.Graph, a algo.Algorithm, opt Options) *Layph {
+	l := &Layph{
+		g:          g,
+		a:          a,
+		sr:         a.Semiring(),
+		opt:        opt,
+		subs:       make(map[int32]*Subgraph),
+		entryProxy: make(map[proxyKey]graph.VertexID),
+		exitProxy:  make(map[proxyKey]graph.VertexID),
+		LastPhases: metrics.NewPhases(),
+	}
+	l.tol = opt.Tolerance
+	if l.tol == 0 {
+		l.tol = a.Tolerance()
+	}
+	if l.opt.Community.MaxSize == 0 {
+		k := g.NumVertices() / 1000 // the paper's rule of thumb: ~0.1% of |V|
+		if k < 64 {
+			k = 64 // floor keeps small graphs from fragmenting below density
+		}
+		if k > 4096 {
+			k = 4096
+		}
+		l.opt.Community.MaxSize = k
+	}
+
+	buildStart := time.Now()
+	l.part = community.Detect(g, l.opt.Community)
+
+	n := g.Cap()
+	l.origCap = n
+	l.subOf = make([]int32, n)
+	l.role = make([]Role, n)
+	l.proxyHost = make([]graph.VertexID, n)
+	l.proxyAlive = make([]bool, n)
+	for v := 0; v < n; v++ {
+		l.subOf[v] = NoSubgraph
+		l.role[v] = RoleOutlier
+		l.proxyHost[v] = NoHost
+		if !g.Alive(graph.VertexID(v)) {
+			l.role[v] = RoleDead
+		}
+	}
+	l.flatOut = make([][]engine.WEdge, n)
+	l.flatIn = make([][]engine.WEdge, n)
+	l.upOut = make([][]engine.WEdge, n)
+	l.upIn = make([][]engine.WEdge, n)
+	l.x = make([]float64, n) // placeholder; re-initialized before the batch run
+
+	// Dense-subgraph selection and proxy allocation.
+	members := l.part.Members()
+	for c := int32(0); int(c) < len(members); c++ {
+		ms := members[c]
+		d := l.evaluateCommunity(c, ms)
+		if !d.dense {
+			continue
+		}
+		s := &Subgraph{ID: c, origMembers: append([]graph.VertexID(nil), ms...)}
+		for _, v := range ms {
+			l.subOf[v] = c
+		}
+		for _, h := range d.entryHosts {
+			s.proxies = append(s.proxies, l.allocProxy(l.entryProxy, c, h))
+		}
+		for _, h := range d.exitHosts {
+			s.proxies = append(s.proxies, l.allocProxy(l.exitProxy, c, h))
+		}
+		l.subs[c] = s
+	}
+
+	// Flat graph over the final ID space.
+	fn := l.flatN()
+	for v := 0; v < fn; v++ {
+		l.flatOut[v] = l.computeFlatOut(graph.VertexID(v))
+	}
+	for v := 0; v < fn; v++ {
+		for _, e := range l.flatOut[v] {
+			l.flatIn[e.To] = append(l.flatIn[e.To], engine.WEdge{To: graph.VertexID(v), W: e.W})
+		}
+	}
+
+	// Roles, member lists, local frames, shortcuts.
+	all := make([]graph.VertexID, fn)
+	for v := range all {
+		all[v] = graph.VertexID(v)
+	}
+	l.recomputeRoles(all)
+	for _, s := range l.subs {
+		l.classifyMembers(s)
+		l.buildLocalFrame(s)
+		l.OfflineStats.ShortcutActivations += l.deduceShortcuts(s)
+	}
+	l.OfflineStats.ShortcutCount = l.ShortcutCount()
+	l.OfflineStats.DenseSubgraphs = len(l.subs)
+	l.OfflineStats.Proxies = fn - n
+
+	// Upper layer.
+	for v := 0; v < fn; v++ {
+		l.refreshUpVertex(graph.VertexID(v))
+	}
+	l.OfflineStats.BuildSeconds = time.Since(buildStart).Seconds()
+
+	// Initial batch run on the flat layered graph.
+	initStart := time.Now()
+	x0 := make([]float64, fn)
+	m0 := make([]float64, fn)
+	for v := 0; v < fn; v++ {
+		x0[v], m0[v] = l.sr.Zero(), l.sr.Zero()
+		if v < g.Cap() && g.Alive(graph.VertexID(v)) {
+			x0[v] = a.InitState(graph.VertexID(v))
+			m0[v] = a.InitMessage(graph.VertexID(v))
+		}
+	}
+	res := engine.Run(&engine.Frame{Out: l.flatOut}, l.sr, x0, m0, engine.Options{
+		Workers:      opt.Workers,
+		Tolerance:    l.tol,
+		TrackParents: l.sr.Idempotent(),
+	})
+	l.x = res.X
+	l.parent = res.Parent
+	l.OfflineStats.InitialSeconds = time.Since(initStart).Seconds()
+	return l
+}
+
+// classifyMembers fills the subgraph's member/role lists from the current
+// liveness and role assignments.
+func (l *Layph) classifyMembers(s *Subgraph) {
+	s.Members = s.Members[:0]
+	s.Entries = s.Entries[:0]
+	s.Exits = s.Exits[:0]
+	s.Internal = s.Internal[:0]
+	for _, v := range s.origMembers {
+		if l.flatAlive(v) && l.subOf[v] == s.ID {
+			s.Members = append(s.Members, v)
+		}
+	}
+	for _, p := range s.proxies {
+		if l.flatAlive(p) && l.subOf[p] == s.ID {
+			s.Members = append(s.Members, p)
+		}
+	}
+	for _, v := range s.Members {
+		r := l.role[v]
+		if r.IsEntry() {
+			s.Entries = append(s.Entries, v)
+		}
+		if r == RoleExit || r == RoleEntryExit {
+			s.Exits = append(s.Exits, v)
+		}
+		if r == RoleInternal {
+			s.Internal = append(s.Internal, v)
+		}
+	}
+}

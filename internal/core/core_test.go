@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"layph/internal/algo"
+	"layph/internal/community"
+	"layph/internal/delta"
+	"layph/internal/engine"
+	"layph/internal/enginetest"
+	"layph/internal/gen"
+	"layph/internal/graph"
+	"layph/internal/inc"
+)
+
+func factory(g *graph.Graph, a algo.Algorithm) inc.System {
+	return New(g, a, Options{Workers: 2})
+}
+
+func factoryNoReplication(g *graph.Graph, a algo.Algorithm) inc.System {
+	return New(g, a, Options{Workers: 2, DisableReplication: true})
+}
+
+func testGraph(seed int64) *graph.Graph {
+	g, _ := gen.CommunityGraph(gen.CommunityConfig{
+		Vertices: 500, MeanCommunity: 30, IntraDegree: 7, InterDegree: 0.3,
+		HubFraction: 0.01, HubDegree: 12, Weighted: true, Seed: seed,
+	})
+	return g
+}
+
+func TestBuildInvariants(t *testing.T) {
+	for _, seed := range []int64{1, 5, 9} {
+		g := testGraph(seed)
+		l := New(g, algo.NewSSSP(0), Options{})
+		if err := l.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if l.OfflineStats.DenseSubgraphs == 0 {
+			t.Fatalf("seed %d: no dense subgraphs on a community graph", seed)
+		}
+		upV, upE := l.UpperLayerSize()
+		if upV >= g.NumVertices() {
+			t.Fatalf("seed %d: skeleton (%d) not smaller than graph (%d)", seed, upV, g.NumVertices())
+		}
+		if upE == 0 {
+			t.Fatalf("seed %d: empty skeleton", seed)
+		}
+	}
+}
+
+// The flat layered graph (proxy rewiring, no shortcuts) must be message-
+// equivalent to the original graph: batch runs agree on original vertices.
+func TestFlatGraphEquivalence(t *testing.T) {
+	for name, mk := range enginetest.AllAlgorithms() {
+		t.Run(name, func(t *testing.T) {
+			g := testGraph(7)
+			a := mk()
+			l := New(g, a, Options{})
+			want := engine.RunBatch(g, mk(), engine.Options{Workers: 2})
+			for v := 0; v < g.Cap(); v++ {
+				got, exp := l.States()[v], want.X[v]
+				if math.IsInf(got, 1) != math.IsInf(exp, 1) || (!math.IsInf(got, 1) && math.Abs(got-exp) > 1e-6) {
+					t.Fatalf("vertex %d: layered %v vs original %v", v, got, exp)
+				}
+			}
+		})
+	}
+}
+
+// Shortcut weights must equal an independent local fixpoint over the
+// subgraph's internal edges (Definition 3 / Equation 6): shortest internal
+// paths from the entry whose intermediate vertices are not entries (entry
+// composition happens on Lup, so through-entry paths must not be double
+// counted).
+func TestShortcutWeightsMatchLocalFixpoint(t *testing.T) {
+	g := testGraph(3)
+	a := algo.NewSSSP(0)
+	l := New(g, a, Options{})
+	sr := a.Semiring()
+	checked := 0
+	for _, s := range l.subs {
+		for _, u := range s.Entries {
+			// Recompute via Bellman-Ford over the entry-absorbing frame,
+			// seeding from u's own out-edges.
+			lf := s.Local
+			dist := make([]float64, lf.size())
+			for i := range dist {
+				dist[i] = sr.Zero()
+			}
+			for _, e := range lf.out[lf.idx[u]] {
+				if e.W < dist[e.To] {
+					dist[e.To] = e.W
+				}
+			}
+			for iter := 0; iter < lf.size(); iter++ {
+				improved := false
+				for ci := range lf.ids {
+					if math.IsInf(dist[ci], 1) {
+						continue
+					}
+					for _, e := range lf.absorbOut[ci] {
+						if nd := dist[ci] + e.W; nd < dist[e.To] {
+							dist[e.To] = nd
+							improved = true
+						}
+					}
+				}
+				if !improved {
+					break
+				}
+			}
+			for _, sc := range append(append([]engine.WEdge(nil), s.ShortToBoundary[u]...), s.ShortToInternal[u]...) {
+				want := dist[lf.idx[sc.To]]
+				if math.Abs(sc.W-want) > 1e-9 {
+					t.Fatalf("sub %d entry %d: shortcut to %d weight %v, want %v", s.ID, u, sc.To, sc.W, want)
+				}
+				checked++
+			}
+		}
+		if checked > 500 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no shortcuts checked")
+	}
+}
+
+func TestEquivalenceAllAlgorithms(t *testing.T) {
+	for name, mk := range enginetest.AllAlgorithms() {
+		t.Run(name, func(t *testing.T) {
+			enginetest.RunEquivalence(t, "layph/"+name, factory, mk, enginetest.DefaultConfig())
+		})
+	}
+}
+
+func TestEquivalenceWithVertexUpdates(t *testing.T) {
+	cfg := enginetest.DefaultConfig()
+	cfg.VertexUpdates = true
+	for name, mk := range enginetest.AllAlgorithms() {
+		t.Run(name, func(t *testing.T) {
+			enginetest.RunEquivalence(t, "layph/"+name, factory, mk, cfg)
+		})
+	}
+}
+
+func TestEquivalenceWithoutReplication(t *testing.T) {
+	for name, mk := range enginetest.AllAlgorithms() {
+		t.Run(name, func(t *testing.T) {
+			enginetest.RunEquivalence(t, "layph-norepl/"+name, factoryNoReplication, mk, enginetest.DefaultConfig())
+		})
+	}
+}
+
+func TestInvariantsAcrossUpdates(t *testing.T) {
+	g := testGraph(21)
+	l := New(g, algo.NewPageRank(0.85, 1e-10), Options{})
+	genr := delta.NewGenerator(4)
+	for i := 0; i < 6; i++ {
+		batch := genr.EdgeBatch(g, 80, true)
+		batch = append(batch, genr.VertexBatch(g, 3, 3, 2, true)...)
+		applied := delta.Apply(g, batch)
+		l.Update(applied)
+		if err := l.CheckInvariants(); err != nil {
+			t.Fatalf("after batch %d: %v", i, err)
+		}
+	}
+}
+
+func TestPaperFigure2Example(t *testing.T) {
+	// The paper's running example (Figures 2, Examples 3-6): SSSP from v0,
+	// delete (v3,v4,1), add (v3,v2,2); final distances {0,1,3,1,4,7,8,9,9}.
+	g := graph.New(9)
+	type e struct {
+		u, v graph.VertexID
+		w    float64
+	}
+	for _, ed := range []e{
+		{0, 1, 1}, {1, 3, 1}, {3, 2, 3}, {3, 4, 1}, {2, 4, 1}, {1, 2, 4},
+		{4, 5, 3}, {5, 6, 1}, {6, 7, 1}, {6, 8, 1}, {5, 0, 2}, {7, 8, 2},
+		{5, 8, 2},
+	} {
+		g.AddEdge(ed.u, ed.v, ed.w)
+	}
+	l := New(g, algo.NewSSSP(0), Options{Community: community.Config{MaxSize: 4}})
+	applied := delta.Apply(g, delta.Batch{
+		{Kind: delta.DelEdge, U: 3, V: 4},
+		{Kind: delta.AddEdge, U: 3, V: 2, W: 2},
+	})
+	st := l.Update(applied)
+	// The deleted edge sits on the dependency tree, so the update must
+	// exercise the ⊥-cancellation path, and the result must match a restart.
+	if st.Resets == 0 {
+		t.Fatal("expected dependency resets")
+	}
+	want := engine.RunBatch(g, algo.NewSSSP(0), engine.Options{})
+	for v := 0; v < g.Cap(); v++ {
+		if math.Abs(l.States()[v]-want.X[v]) > 1e-9 &&
+			!(math.IsInf(l.States()[v], 1) && math.IsInf(want.X[v], 1)) {
+			t.Fatalf("x%d = %v, want %v (all: %v)", v, l.States()[v], want.X[v], l.States()[:9])
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhasesRecorded(t *testing.T) {
+	g := testGraph(31)
+	l := New(g, algo.NewSSSP(0), Options{})
+	applied := delta.Apply(g, delta.NewGenerator(1).EdgeBatch(g, 50, true))
+	l.Update(applied)
+	ph := l.LastPhases
+	for _, name := range []string{"layered-update", "upload", "lup-iteration", "assignment"} {
+		found := false
+		for _, n := range ph.Names() {
+			if n == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("phase %q not recorded (got %v)", name, ph.Names())
+		}
+	}
+}
+
+func TestReplicationShrinksSkeleton(t *testing.T) {
+	// A graph with strong hubs: replication must reduce the skeleton size.
+	g, _ := gen.CommunityGraph(gen.CommunityConfig{
+		Vertices: 800, MeanCommunity: 40, IntraDegree: 8, InterDegree: 0.2,
+		HubFraction: 0.03, HubDegree: 40, Weighted: true, Seed: 12,
+	})
+	with := New(g, algo.NewSSSP(0), Options{})
+	without := New(g, algo.NewSSSP(0), Options{DisableReplication: true})
+	wv, _ := with.UpperLayerSize()
+	nv, _ := without.UpperLayerSize()
+	if with.OfflineStats.Proxies == 0 {
+		t.Skip("no proxies created on this graph")
+	}
+	if wv >= nv {
+		t.Fatalf("replication did not shrink skeleton: %d (with) vs %d (without)", wv, nv)
+	}
+}
+
+func TestOfflineStatsPopulated(t *testing.T) {
+	g := testGraph(41)
+	l := New(g, algo.NewPageRank(0.85, 1e-8), Options{})
+	os := l.OfflineStats
+	if os.BuildSeconds <= 0 || os.InitialSeconds <= 0 {
+		t.Fatalf("timings not recorded: %+v", os)
+	}
+	if os.ShortcutCount == 0 || os.ShortcutActivations == 0 {
+		t.Fatalf("shortcut stats not recorded: %+v", os)
+	}
+	if l.ShortcutCount() != os.ShortcutCount {
+		t.Fatalf("live shortcut count %d != offline %d", l.ShortcutCount(), os.ShortcutCount)
+	}
+}
+
+func TestName(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1)
+	l := New(g, algo.NewBFS(0), Options{})
+	if l.Name() != "layph" || l.Graph() != g || l.Subgraphs() == nil {
+		t.Fatal("accessors")
+	}
+}

@@ -1,0 +1,525 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"layph/internal/delta"
+	"layph/internal/engine"
+	"layph/internal/graph"
+	"layph/internal/inc"
+	"layph/internal/metrics"
+)
+
+// Update incrementally adjusts the memoized result to the applied batch
+// (the graph must already reflect it). The paper's online phases are timed
+// individually into LastPhases (Figure 7):
+//
+//	layered-update — Section IV-B (structure + shortcut maintenance)
+//	upload         — Section V-A  (local fixpoints in affected subgraphs)
+//	lup-iteration  — Section V-B  (global iteration on the skeleton)
+//	assignment     — Section V-C  (entry→internal shortcut application)
+func (l *Layph) Update(applied *delta.Applied) inc.Stats {
+	start := time.Now()
+	ph := metrics.NewPhases()
+	var st inc.Stats
+
+	var d *layeredDiff
+	ph.Time("layered-update", func() { d = l.layeredUpdate(applied) })
+	st.Activations += d.shortcutActivations
+	l.LastActs = map[string]int64{"layered-update": d.shortcutActivations}
+	before := st.Activations
+
+	if l.sr.Idempotent() {
+		l.updateMin(applied, d, ph, &st)
+	} else {
+		l.updateSum(applied, d, ph, &st)
+	}
+	l.LastActs["online"] = st.Activations - before
+	l.LastPhases = ph
+	st.Duration = time.Since(start)
+	return st
+}
+
+// debugFlatOnly short-circuits the layered propagation: revision messages
+// run directly on the flat frame. Debug/testing aid for isolating whether a
+// divergence comes from deduction or from the layered phases.
+var debugFlatOnly = false
+
+// updateSum is the non-idempotent (memoization-free) online path: exact
+// inverse-delta revision messages, local absorption, skeleton iteration,
+// delta assignment.
+func (l *Layph) updateSum(applied *delta.Applied, d *layeredDiff, ph *metrics.Phases, st *inc.Stats) {
+	n := l.flatN()
+	// pending holds fresh revision messages not yet applied to any state;
+	// fromLocal holds boundary deltas the local upload runs already applied
+	// to their vertices (the skeleton run must propagate them without
+	// re-applying).
+	pending := make([]float64, n)
+	fromLocal := make([]float64, n)
+	// Entry caches (Equation 9) are deltas against the pre-update states:
+	// entries absorb both local-upload arrivals and skeleton arrivals, and
+	// the assignment phase replays their total delta through the
+	// entry→internal shortcuts.
+	xPre := append([]float64(nil), l.x...)
+
+	ph.Time("upload", func() {
+		// Revision-message deduction: cancel old contributions over the old
+		// flat lists, compensate over the new ones.
+		for u, old := range d.oldLists {
+			xu := l.x[u]
+			if xu != 0 {
+				for _, e := range old {
+					if m := xu * e.W; m != 0 {
+						pending[e.To] -= m
+						st.Activations++
+					}
+				}
+				for _, e := range l.flatOut[u] {
+					if m := xu * e.W; m != 0 {
+						pending[e.To] += m
+						st.Activations++
+					}
+				}
+			}
+			if !l.flatAlive(u) {
+				l.x[u] = 0 // removed vertices and orphaned proxies
+			}
+		}
+		for _, v := range applied.AddedVertices {
+			pending[v] += l.a.InitMessage(v)
+		}
+
+		if debugFlatOnly {
+			return
+		}
+		// Local absorption: one fixpoint per affected subgraph consumes the
+		// revision messages addressed to its members and turns them into
+		// boundary deltas for the skeleton.
+		for _, s := range d.affectedSubs {
+			l.uploadSumSubgraph(s, pending, fromLocal, st)
+		}
+	})
+
+	ph.Time("lup-iteration", func() {
+		frame := &engine.Frame{Out: l.upOut}
+		if debugFlatOnly {
+			frame = &engine.Frame{Out: l.flatOut}
+		}
+		m0 := make([]float64, n)
+		x0 := append([]float64(nil), l.x...)
+		any := false
+		for v := 0; v < n; v++ {
+			seed := pending[v] + fromLocal[v]
+			if seed == 0 {
+				continue
+			}
+			m0[v] = seed
+			// Only the already-applied part is backed out of the state; the
+			// engine re-applies the whole seed, so fresh messages land once
+			// and local deltas land exactly once overall.
+			x0[v] -= fromLocal[v]
+			any = true
+		}
+		if !any {
+			return
+		}
+		res := engine.Run(frame, l.sr, x0, m0, engine.Options{
+			Workers:   l.opt.Workers,
+			Tolerance: l.tol,
+		})
+		l.x = res.X
+		st.Activations += res.Activations
+		st.Rounds = res.Rounds
+	})
+
+	ph.Time("assignment", func() {
+		if debugFlatOnly {
+			return
+		}
+		for _, s := range l.subs {
+			for _, u := range s.Entries {
+				mu := l.x[u] - xPre[u]
+				if math.Abs(mu) <= l.tol {
+					continue
+				}
+				for _, sc := range s.ShortToInternal[u] {
+					l.x[sc.To] += mu * sc.W
+					st.Activations++
+				}
+			}
+		}
+	})
+
+	// Dead vertices hold no state: clear correction residue parked on them.
+	for u := range d.oldLists {
+		if !l.flatAlive(u) {
+			l.x[u] = 0
+		}
+	}
+	for _, v := range applied.RemovedVertices {
+		l.x[v] = 0
+	}
+}
+
+// uploadSumSubgraph runs the local fixpoint of one affected subgraph,
+// consuming the pending revision messages addressed to its members. Member
+// states absorb their internal-path effects; the messages re-emerge as
+// pending deltas on boundary members for the skeleton iteration.
+func (l *Layph) uploadSumSubgraph(s *Subgraph, pending, fromLocal []float64, st *inc.Stats) {
+	lf := s.Local
+	k := lf.size()
+	x0 := make([]float64, k)
+	m0 := make([]float64, k)
+	seeded := false
+	for i, v := range lf.ids {
+		x0[i] = l.x[v]
+		if p := pending[v]; p != 0 {
+			// Fresh revision messages: the run applies them for the first
+			// time (no state back-out).
+			m0[i] = p
+			pending[v] = 0
+			seeded = true
+		}
+	}
+	if !seeded {
+		return
+	}
+	res := engine.Run(&engine.Frame{Out: lf.absorbOut}, l.sr, x0, m0, engine.Options{
+		Workers:   1,
+		Tolerance: l.tol,
+	})
+	st.Activations += res.Activations
+	for i, v := range lf.ids {
+		dl := res.X[i] - l.x[v]
+		l.x[v] = res.X[i]
+		if dl != 0 && l.onUp(v) {
+			// Boundary members forward their full delta (already applied to
+			// their own state) to the skeleton.
+			fromLocal[v] += dl
+		}
+	}
+}
+
+// updateMin is the idempotent (memoization-path) online path: dependency-
+// tree resets, local recomputation in affected subgraphs, skeleton
+// iteration with offer re-seeding, shortcut assignment, parent repair.
+func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Phases, st *inc.Stats) {
+	n := l.flatN()
+	zero := l.sr.Zero()
+	tagged := make([]bool, n)
+	var resets []graph.VertexID
+	repair := make(map[graph.VertexID]struct{})
+
+	var localChanged []graph.VertexID
+	var lupChanged []graph.VertexID
+	leftoverOffers := make(map[graph.VertexID]float64)
+	resetsBySub := make(map[int32]bool)
+
+	actsMark := func(name string, before int64) int64 {
+		l.LastActs[name] = st.Activations - before
+		return st.Activations
+	}
+	mark := st.Activations
+	ph.Time("upload", func() {
+		// ⊥ cancellation: tag the dependency subtrees hanging off removed
+		// flat dependency edges, removed vertices and rebuilt proxies.
+		var queue []graph.VertexID
+		tag := func(v graph.VertexID) {
+			if int(v) < n && !tagged[v] {
+				tagged[v] = true
+				queue = append(queue, v)
+			}
+		}
+		for _, e := range d.removed {
+			if l.parent[e.to] == e.from {
+				tag(e.to)
+			}
+		}
+		for _, v := range applied.RemovedVertices {
+			tag(v)
+		}
+		for u := range d.oldLists {
+			if !l.flatAlive(u) {
+				tag(u)
+			}
+		}
+		for _, s := range d.rebuiltSubs {
+			for _, p := range s.proxies {
+				tag(p)
+			}
+		}
+		if len(queue) > 0 {
+			children := make(map[graph.VertexID][]graph.VertexID, n/4)
+			for v, p := range l.parent {
+				if p != engine.NoParent {
+					children[p] = append(children[p], graph.VertexID(v))
+				}
+			}
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				resets = append(resets, v)
+				for _, c := range children[v] {
+					tag(c)
+				}
+			}
+		}
+		for _, v := range resets {
+			l.x[v] = zero
+			l.parent[v] = engine.NoParent
+			repair[v] = struct{}{}
+			if c := l.subOf[v]; c != NoSubgraph {
+				resetsBySub[c] = true
+			}
+		}
+		st.Resets = len(resets)
+
+		// Active subgraphs: structure-affected plus any holding resets.
+		active := make(map[int32]*Subgraph, len(d.affectedSubs))
+		for c, s := range d.affectedSubs {
+			active[c] = s
+		}
+		for c := range resetsBySub {
+			if s, ok := l.subs[c]; ok {
+				active[c] = s
+			}
+		}
+
+		// Direct compensation candidates from added flat edges.
+		addedOffer := make(map[graph.VertexID]float64)
+		for _, e := range d.added {
+			if !l.flatAlive(e.to) || l.x[e.from] == zero {
+				continue
+			}
+			offer := l.sr.Times(l.x[e.from], e.w)
+			st.Activations++
+			if offer == zero {
+				continue
+			}
+			if cur, ok := addedOffer[e.to]; !ok || l.sr.Plus(cur, offer) != cur {
+				addedOffer[e.to] = offer
+			}
+		}
+
+		for _, s := range active {
+			changed := l.uploadMinSubgraph(s, tagged, addedOffer, st)
+			localChanged = append(localChanged, changed...)
+			for _, v := range changed {
+				repair[v] = struct{}{}
+			}
+		}
+
+		// Leftover candidates targeting skeleton vertices are handled in the
+		// skeleton phase.
+		leftoverOffers = addedOffer
+	})
+	mark = actsMark("upload", mark)
+
+	ph.Time("lup-iteration", func() {
+		m0 := make([]float64, n)
+		for i := range m0 {
+			m0[i] = zero
+		}
+		inActive := make(map[graph.VertexID]struct{})
+		var act []graph.VertexID
+		activate := func(v graph.VertexID) {
+			if _, ok := inActive[v]; !ok {
+				inActive[v] = struct{}{}
+				act = append(act, v)
+			}
+		}
+		// Re-seed tagged skeleton vertices from intact skeleton in-edges and
+		// root messages.
+		for _, v := range resets {
+			if !l.flatAlive(v) || !l.onUp(v) {
+				continue
+			}
+			if int(v) < l.origCap {
+				if m := l.a.InitMessage(v); m != zero {
+					m0[v] = l.sr.Plus(m0[v], m)
+				}
+			}
+			for _, e := range l.upIn[v] {
+				src := e.To
+				if l.x[src] == zero {
+					continue
+				}
+				offer := l.sr.Times(l.x[src], e.W)
+				st.Activations++
+				if offer != zero {
+					m0[v] = l.sr.Plus(m0[v], offer)
+				}
+			}
+			if m0[v] != zero {
+				activate(v)
+			}
+		}
+		// Boundary members whose value changed during local absorption
+		// propagate over the skeleton.
+		for _, v := range localChanged {
+			if l.onUp(v) && l.flatAlive(v) {
+				activate(v)
+			}
+		}
+		// Remaining direct candidates on skeleton targets.
+		for v, offer := range leftoverOffers {
+			if !l.flatAlive(v) || !l.onUp(v) {
+				continue
+			}
+			if l.sr.Plus(l.x[v], offer) != l.x[v] {
+				m0[v] = l.sr.Plus(m0[v], offer)
+				activate(v)
+			}
+		}
+		if len(act) == 0 {
+			return
+		}
+		res := engine.Run(&engine.Frame{Out: l.upOut}, l.sr, l.x, m0, engine.Options{
+			Workers:       l.opt.Workers,
+			Tolerance:     l.tol,
+			InitialActive: act,
+			TrackChanged:  true,
+		})
+		l.x = res.X
+		st.Activations += res.Activations
+		st.Rounds = res.Rounds
+		for _, v := range res.Changed {
+			repair[v] = struct{}{}
+		}
+		lupChanged = res.Changed
+	})
+	mark = actsMark("lup-iteration", mark)
+
+	ph.Time("assignment", func() {
+		changedUp := make(map[graph.VertexID]struct{}, len(lupChanged)+len(localChanged))
+		for _, v := range lupChanged {
+			changedUp[v] = struct{}{}
+		}
+		// Entries are absorbing in local runs, so an entry improved during
+		// upload also needs its shortcuts replayed.
+		for _, v := range localChanged {
+			if l.role[v].IsEntry() {
+				changedUp[v] = struct{}{}
+			}
+		}
+		for c, s := range l.subs {
+			trigger := resetsBySub[c]
+			if !trigger {
+				for _, u := range s.Entries {
+					if _, ok := changedUp[u]; ok {
+						trigger = true
+						break
+					}
+				}
+			}
+			if !trigger {
+				continue
+			}
+			for _, u := range s.Entries {
+				if l.x[u] == zero {
+					continue
+				}
+				for _, sc := range s.ShortToInternal[u] {
+					cand := l.sr.Times(l.x[u], sc.W)
+					st.Activations++
+					if l.sr.Plus(l.x[sc.To], cand) != l.x[sc.To] {
+						l.x[sc.To] = cand
+						repair[sc.To] = struct{}{}
+					}
+				}
+			}
+		}
+	})
+
+	actsMark("assignment", mark)
+
+	// Dependency-parent repair for every vertex whose state may have moved.
+	for v := range repair {
+		l.repairParent(v)
+	}
+}
+
+// uploadMinSubgraph recomputes one subgraph locally: offers for tagged
+// members from valid flat in-neighbors (plus root messages and added-edge
+// candidates), then a local fixpoint. Returns the members whose value
+// changed.
+func (l *Layph) uploadMinSubgraph(s *Subgraph, tagged []bool, addedOffer map[graph.VertexID]float64, st *inc.Stats) []graph.VertexID {
+	zero := l.sr.Zero()
+	lf := s.Local
+	k := lf.size()
+	x0 := make([]float64, k)
+	m0 := make([]float64, k)
+	var act []graph.VertexID
+	for i, v := range lf.ids {
+		x0[i] = l.x[v]
+		m0[i] = zero
+		if tagged[v] && l.flatAlive(v) {
+			if int(v) < l.origCap {
+				if m := l.a.InitMessage(v); m != zero {
+					m0[i] = l.sr.Plus(m0[i], m)
+				}
+			}
+			for _, e := range l.flatIn[v] {
+				src := e.To
+				if tagged[src] || l.x[src] == zero {
+					continue
+				}
+				offer := l.sr.Times(l.x[src], e.W)
+				st.Activations++
+				if offer != zero {
+					m0[i] = l.sr.Plus(m0[i], offer)
+				}
+			}
+		}
+		if offer, ok := addedOffer[v]; ok {
+			m0[i] = l.sr.Plus(m0[i], offer)
+			delete(addedOffer, v)
+		}
+		if m0[i] != zero && l.sr.Plus(x0[i], m0[i]) != x0[i] {
+			act = append(act, graph.VertexID(i))
+		}
+	}
+	if len(act) == 0 {
+		return nil
+	}
+	res := engine.Run(&engine.Frame{Out: lf.absorbOut}, l.sr, x0, m0, engine.Options{
+		Workers:       1,
+		Tolerance:     l.tol,
+		InitialActive: act,
+		TrackChanged:  true,
+	})
+	st.Activations += res.Activations
+	var changed []graph.VertexID
+	for _, ci := range res.Changed {
+		v := lf.ids[ci]
+		l.x[v] = res.X[ci]
+		changed = append(changed, v)
+	}
+	return changed
+}
+
+// repairParent re-derives v's dependency parent by scanning its flat
+// in-edges for a witness. Witness matching uses a relative epsilon: values
+// set through shortcut assignment differ from the edge-by-edge sum by float
+// rounding, and an orphaned parent would silently exempt the vertex from
+// future ⊥ cancellations (a stale-value correctness hole).
+func (l *Layph) repairParent(v graph.VertexID) {
+	zero := l.sr.Zero()
+	if !l.flatAlive(v) || l.x[v] == zero {
+		l.parent[v] = engine.NoParent
+		return
+	}
+	l.parent[v] = engine.NoParent
+	eps := 1e-9 * (1 + math.Abs(l.x[v]))
+	for _, e := range l.flatIn[v] {
+		src := e.To
+		if l.x[src] == zero {
+			continue
+		}
+		if math.Abs(l.sr.Times(l.x[src], e.W)-l.x[v]) <= eps {
+			l.parent[v] = src
+			return
+		}
+	}
+}

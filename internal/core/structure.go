@@ -1,0 +1,744 @@
+package core
+
+import (
+	"sort"
+
+	"layph/internal/engine"
+	"layph/internal/graph"
+)
+
+// commOf returns the community id of an original vertex (NoSubgraph if
+// outside the partition or dead).
+func (l *Layph) commOf(v graph.VertexID) int32 {
+	if int(v) >= len(l.part.Comm) {
+		return NoSubgraph
+	}
+	if c := l.part.Comm[v]; c >= 0 {
+		return c
+	}
+	return NoSubgraph
+}
+
+// denseDecision is the outcome of evaluating one community for dense-
+// subgraph status (Definition 2) including prospective vertex replication.
+type denseDecision struct {
+	dense       bool
+	entryHosts  []graph.VertexID // external sources to replicate (entry side)
+	exitHosts   []graph.VertexID // external targets to replicate (exit side)
+	numEntries  int
+	numExits    int
+	numInternal int
+}
+
+// evaluateCommunity counts boundary vertices and internal edges of the
+// community as they would look after replication, and applies the paper's
+// density test |V_I|·|V_O| < |E_i|.
+func (l *Layph) evaluateCommunity(c int32, members []graph.VertexID) denseDecision {
+	var d denseDecision
+	if len(members) < 2 {
+		return d
+	}
+	in := make(map[graph.VertexID]struct{}, len(members))
+	for _, v := range members {
+		in[v] = struct{}{}
+	}
+	r := l.opt.replication()
+
+	inCount := make(map[graph.VertexID]int)  // external source -> #edges into c
+	outCount := make(map[graph.VertexID]int) // external target -> #edges out of c
+	intraEdges := 0
+	for _, v := range members {
+		for _, e := range l.g.Out(v) {
+			if _, ok := in[e.To]; ok {
+				intraEdges++
+			} else {
+				outCount[e.To]++
+			}
+		}
+		for _, e := range l.g.In(v) {
+			if _, ok := in[e.To]; !ok {
+				inCount[e.To]++
+			}
+		}
+	}
+	entryProxied := make(map[graph.VertexID]struct{})
+	exitProxied := make(map[graph.VertexID]struct{})
+	if r > 0 {
+		for h, n := range inCount {
+			if n >= r {
+				entryProxied[h] = struct{}{}
+				d.entryHosts = append(d.entryHosts, h)
+			}
+		}
+		for h, n := range outCount {
+			if n >= r {
+				exitProxied[h] = struct{}{}
+				d.exitHosts = append(d.exitHosts, h)
+			}
+		}
+	}
+	sortVertices(d.entryHosts)
+	sortVertices(d.exitHosts)
+
+	// Post-replication boundary/edge counts: an edge from a replicated host
+	// becomes internal (it now targets vertices from the in-subgraph proxy),
+	// so it stops conferring entry status; symmetrically for exits.
+	entries := make(map[graph.VertexID]struct{})
+	exits := make(map[graph.VertexID]struct{})
+	internalEdges := intraEdges
+	for _, v := range members {
+		for _, e := range l.g.In(v) {
+			if _, ok := in[e.To]; ok {
+				continue
+			}
+			if _, prox := entryProxied[e.To]; prox {
+				internalEdges++
+			} else {
+				entries[v] = struct{}{}
+			}
+		}
+		for _, e := range l.g.Out(v) {
+			if _, ok := in[e.To]; ok {
+				continue
+			}
+			if _, prox := exitProxied[e.To]; prox {
+				internalEdges++
+			} else {
+				exits[v] = struct{}{}
+			}
+		}
+	}
+	d.numEntries = len(entries) + len(d.entryHosts)
+	d.numExits = len(exits) + len(d.exitHosts)
+	d.numInternal = len(members) - len(entries) - len(exits) // approximate; overlap ignored
+	d.dense = d.numEntries*d.numExits < internalEdges
+	return d
+}
+
+func sortVertices(vs []graph.VertexID) {
+	sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
+}
+
+// allocProxy returns the proxy id for (sub, host) in the given registry,
+// allocating a fresh flat vertex when absent, and revives it if orphaned.
+func (l *Layph) allocProxy(reg map[proxyKey]graph.VertexID, sub int32, host graph.VertexID) graph.VertexID {
+	k := proxyKey{sub: sub, host: host}
+	if p, ok := reg[k]; ok {
+		l.proxyAlive[p] = true
+		l.subOf[p] = sub
+		return p
+	}
+	p := graph.VertexID(l.flatN())
+	reg[k] = p
+	l.subOf = append(l.subOf, sub)
+	l.role = append(l.role, RoleInternal) // refined by recomputeRoles
+	l.proxyHost = append(l.proxyHost, host)
+	l.proxyAlive = append(l.proxyAlive, true)
+	l.flatOut = append(l.flatOut, nil)
+	l.flatIn = append(l.flatIn, nil)
+	l.upOut = append(l.upOut, nil)
+	l.upIn = append(l.upIn, nil)
+	l.x = append(l.x, l.sr.Zero())
+	if l.parent != nil {
+		l.parent = append(l.parent, engine.NoParent)
+	}
+	return p
+}
+
+// computeFlatOut derives the flat out-list of a flat vertex from the graph
+// and the current proxy registries. Precedence for a cross-subgraph edge
+// that qualifies for both sides: the exit-side proxy wins (the edge is
+// swallowed into the source's subgraph).
+func (l *Layph) computeFlatOut(v graph.VertexID) []engine.WEdge {
+	if !l.flatAlive(v) {
+		return nil
+	}
+	if int(v) >= l.g.Cap() {
+		return l.computeProxyOut(v)
+	}
+	sv := l.subOf[v]
+	var out []engine.WEdge
+	linkEmitted := make(map[int32]struct{})
+	for _, e := range l.g.Out(v) {
+		w := l.a.EdgeWeight(l.g, v, e)
+		st := l.subOf[e.To]
+		switch {
+		case sv != NoSubgraph && st == sv:
+			out = append(out, engine.WEdge{To: e.To, W: w})
+		case sv != NoSubgraph && l.hasProxy(l.exitProxy, sv, e.To):
+			out = append(out, engine.WEdge{To: l.exitProxy[proxyKey{sv, e.To}], W: w})
+		case st != NoSubgraph && l.hasProxy(l.entryProxy, st, v):
+			if _, done := linkEmitted[st]; !done {
+				linkEmitted[st] = struct{}{}
+				out = append(out, engine.WEdge{To: l.entryProxy[proxyKey{st, v}], W: l.sr.One()})
+			}
+			// The real edge belongs to the proxy's out-list.
+		default:
+			out = append(out, engine.WEdge{To: e.To, W: w})
+		}
+	}
+	return out
+}
+
+func (l *Layph) hasProxy(reg map[proxyKey]graph.VertexID, sub int32, host graph.VertexID) bool {
+	p, ok := reg[proxyKey{sub, host}]
+	return ok && l.proxyAlive[p]
+}
+
+// computeProxyOut builds a proxy's out-list: an exit proxy links to its
+// host; an entry proxy carries the host's (non-exit-proxied) edges into the
+// subgraph, with the host's original semiring weights.
+func (l *Layph) computeProxyOut(p graph.VertexID) []engine.WEdge {
+	host := l.proxyHost[p]
+	sub := l.subOf[p]
+	if l.hasProxy(l.exitProxy, sub, host) && l.exitProxy[proxyKey{sub, host}] == p {
+		return []engine.WEdge{{To: host, W: l.sr.One()}}
+	}
+	var out []engine.WEdge
+	if !l.g.Alive(host) {
+		return nil
+	}
+	sh := l.subOf[host]
+	for _, e := range l.g.Out(host) {
+		if l.subOf[e.To] != sub {
+			continue
+		}
+		// Exit-side precedence: the host's subgraph may have swallowed this
+		// edge into an exit proxy already.
+		if sh != NoSubgraph && l.hasProxy(l.exitProxy, sh, e.To) {
+			continue
+		}
+		out = append(out, engine.WEdge{To: e.To, W: l.a.EdgeWeight(l.g, host, e)})
+	}
+	return out
+}
+
+// refreshFlatVertex recomputes v's flat out-list, updates the mirrored
+// in-lists, and returns the previous list together with the diff.
+func (l *Layph) refreshFlatVertex(v graph.VertexID) (old, added, removed []engine.WEdge) {
+	old = l.flatOut[v]
+	fresh := l.computeFlatOut(v)
+	l.flatOut[v] = fresh
+
+	oldM := make(map[graph.VertexID]float64, len(old))
+	for _, e := range old {
+		oldM[e.To] = e.W
+	}
+	for _, e := range fresh {
+		if w, ok := oldM[e.To]; ok && w == e.W {
+			delete(oldM, e.To)
+			continue
+		}
+		if w, ok := oldM[e.To]; ok {
+			removed = append(removed, engine.WEdge{To: e.To, W: w})
+			delete(oldM, e.To)
+		}
+		added = append(added, e)
+	}
+	for to, w := range oldM {
+		removed = append(removed, engine.WEdge{To: to, W: w})
+	}
+	for _, e := range removed {
+		l.flatIn[e.To] = dropEdge(l.flatIn[e.To], v)
+	}
+	for _, e := range added {
+		l.flatIn[e.To] = append(l.flatIn[e.To], engine.WEdge{To: v, W: e.W})
+	}
+	return old, added, removed
+}
+
+func dropEdge(list []engine.WEdge, to graph.VertexID) []engine.WEdge {
+	for i := range list {
+		if list[i].To == to {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// recomputeRoles reassigns roles for the given flat vertices from the flat
+// adjacency and subgraph membership.
+func (l *Layph) recomputeRoles(vs []graph.VertexID) {
+	for _, v := range vs {
+		if !l.flatAlive(v) {
+			l.role[v] = RoleDead
+			continue
+		}
+		sv := l.subOf[v]
+		if sv == NoSubgraph {
+			l.role[v] = RoleOutlier
+			continue
+		}
+		entry, exit := false, false
+		for _, e := range l.flatIn[v] {
+			if l.subOf[e.To] != sv {
+				entry = true
+				break
+			}
+		}
+		for _, e := range l.flatOut[v] {
+			if l.subOf[e.To] != sv {
+				exit = true
+				break
+			}
+		}
+		switch {
+		case entry && exit:
+			l.role[v] = RoleEntryExit
+		case entry:
+			l.role[v] = RoleEntry
+		case exit:
+			l.role[v] = RoleExit
+		default:
+			l.role[v] = RoleInternal
+		}
+	}
+}
+
+// buildLocalFrame projects the subgraph's internal flat edges onto compact
+// IDs.
+func (l *Layph) buildLocalFrame(s *Subgraph) {
+	lf := &localFrame{idx: make(map[graph.VertexID]int32, len(s.Members))}
+	for _, v := range s.Members {
+		lf.idx[v] = int32(len(lf.ids))
+		lf.ids = append(lf.ids, v)
+	}
+	lf.out = make([][]engine.WEdge, len(lf.ids))
+	lf.absorbOut = make([][]engine.WEdge, len(lf.ids))
+	lf.absorbIn = make([][]engine.WEdge, len(lf.ids))
+	for ci, v := range lf.ids {
+		for _, e := range l.flatOut[v] {
+			if tj, ok := lf.idx[e.To]; ok {
+				lf.out[ci] = append(lf.out[ci], engine.WEdge{To: graph.VertexID(tj), W: e.W})
+			}
+		}
+		if !l.role[v].IsEntry() {
+			lf.absorbOut[ci] = lf.out[ci]
+		}
+	}
+	for ci := range lf.absorbOut {
+		for _, e := range lf.absorbOut[ci] {
+			lf.absorbIn[e.To] = append(lf.absorbIn[e.To], engine.WEdge{To: graph.VertexID(ci), W: e.W})
+		}
+	}
+	s.Local = lf
+}
+
+// deduceShortcuts runs Equation (6) for every entry vertex of the subgraph:
+// inject the semiring unit at the entry, run the local fixpoint over the
+// compact frame, and read off the aggregates as shortcut weights. Returns
+// the F applications spent.
+func (l *Layph) deduceShortcuts(s *Subgraph) int64 {
+	s.ShortToBoundary = make(map[graph.VertexID][]engine.WEdge, len(s.Entries))
+	s.ShortToInternal = make(map[graph.VertexID][]engine.WEdge, len(s.Entries))
+	lf := s.Local
+	k := lf.size()
+	var acts int64
+	zero := l.sr.Zero()
+	s.scVec = make(map[graph.VertexID][]float64, len(s.Entries))
+	if l.sr.Idempotent() {
+		s.scParent = make(map[graph.VertexID][]graph.VertexID, len(s.Entries))
+	} else {
+		s.scParent = nil
+	}
+	// Shortcut weights count internal paths whose intermediate vertices are
+	// not entries (the source included): the unit message is emitted over
+	// the source's out-edges directly and the fixpoint runs on the fully
+	// absorbing frame. Through-entry and revisiting paths are then covered
+	// exactly once by shortcut composition on Lup (including the self-
+	// shortcut for sum-semiring cycles back to the entry).
+	frame := &engine.Frame{Out: lf.absorbOut}
+	for _, u := range s.Entries {
+		cu := lf.idx[u]
+		x0 := make([]float64, k)
+		m0 := make([]float64, k)
+		for i := range x0 {
+			x0[i] = zero
+			m0[i] = zero
+		}
+		for _, e := range lf.out[cu] {
+			m0[e.To] = l.sr.Plus(m0[e.To], l.sr.Times(l.sr.One(), e.W))
+			acts++
+		}
+		res := engine.Run(frame, l.sr, x0, m0, engine.Options{
+			Workers:   1,
+			Tolerance: l.scTol(),
+		})
+		acts += res.Activations
+		s.scVec[u] = res.X
+		if s.scParent != nil {
+			par := make([]graph.VertexID, k)
+			for ci := range par {
+				par[ci] = l.scWitness(s, u, res.X, graph.VertexID(ci))
+			}
+			s.scParent[u] = par
+		}
+		l.rebuildShortcutLists(s, u)
+	}
+	return acts
+}
+
+// scWitness finds a compact dependency parent for target ci in entry u's
+// shortcut vector: an absorbing-frame in-neighbor (or u's own direct edge)
+// whose value composes to vec[ci] within rounding.
+func (l *Layph) scWitness(s *Subgraph, u graph.VertexID, vec []float64, ci graph.VertexID) graph.VertexID {
+	zero := l.sr.Zero()
+	if vec[ci] == zero {
+		return engine.NoParent
+	}
+	lf := s.Local
+	cu := lf.idx[u]
+	eps := 1e-9 * (1 + absF(vec[ci]))
+	for _, e := range lf.out[cu] {
+		if e.To == ci && absF(l.sr.Times(l.sr.One(), e.W)-vec[ci]) <= eps {
+			return graph.VertexID(cu)
+		}
+	}
+	for _, ie := range lf.absorbIn[ci] {
+		a := ie.To
+		if vec[a] == zero {
+			continue
+		}
+		if absF(l.sr.Times(vec[a], ie.W)-vec[ci]) <= eps {
+			return a
+		}
+	}
+	return engine.NoParent
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// rebuildShortcutLists re-derives entry u's ShortTo* lists from its
+// memoized vector.
+func (l *Layph) rebuildShortcutLists(s *Subgraph, u graph.VertexID) {
+	zero := l.sr.Zero()
+	lf := s.Local
+	var toB, toI []engine.WEdge
+	for ci, w := range s.scVec[u] {
+		if w == zero {
+			continue
+		}
+		v := lf.ids[ci]
+		if v == u {
+			// Self-shortcut: cycles that return to the entry. For
+			// idempotent semirings cycles cannot improve anything.
+			if !l.sr.Idempotent() {
+				toB = append(toB, engine.WEdge{To: u, W: w})
+			}
+			continue
+		}
+		sc := engine.WEdge{To: v, W: w}
+		if l.role[v] == RoleInternal {
+			toI = append(toI, sc)
+		} else {
+			toB = append(toB, sc)
+		}
+	}
+	if toB == nil {
+		delete(s.ShortToBoundary, u)
+	} else {
+		s.ShortToBoundary[u] = toB
+	}
+	if toI == nil {
+		delete(s.ShortToInternal, u)
+	} else {
+		s.ShortToInternal[u] = toI
+	}
+}
+
+// updateShortcutsIncremental absorbs internal edge diffs into every entry's
+// memoized shortcut vector with revision messages — the paper's incremental
+// shortcut weight update — instead of re-deducing from scratch. The caller
+// guarantees the subgraph's membership, roles and proxies are unchanged.
+// Returns the F applications spent.
+func (l *Layph) updateShortcutsIncremental(s *Subgraph, added, removed []flatEdge) int64 {
+	lf := s.Local
+	zero := l.sr.Zero()
+	var acts int64
+
+	// Map diffs to compact IDs; rebuild the compact adjacency rows of the
+	// changed sources first.
+	var cAdded, cRemoved []cDiff
+	changedSrc := make(map[graph.VertexID]struct{})
+	for _, e := range added {
+		cf, okF := lf.idx[e.from]
+		ct, okT := lf.idx[e.to]
+		if okF && okT {
+			cAdded = append(cAdded, cDiff{graph.VertexID(cf), graph.VertexID(ct), e.w})
+			changedSrc[graph.VertexID(cf)] = struct{}{}
+		}
+	}
+	for _, e := range removed {
+		cf, okF := lf.idx[e.from]
+		ct, okT := lf.idx[e.to]
+		if okF && okT {
+			cRemoved = append(cRemoved, cDiff{graph.VertexID(cf), graph.VertexID(ct), e.w})
+			changedSrc[graph.VertexID(cf)] = struct{}{}
+		}
+	}
+	if len(cAdded) == 0 && len(cRemoved) == 0 {
+		return 0
+	}
+	for cf := range changedSrc {
+		v := lf.ids[cf]
+		var row []engine.WEdge
+		for _, e := range l.flatOut[v] {
+			if tj, ok := lf.idx[e.To]; ok {
+				row = append(row, engine.WEdge{To: graph.VertexID(tj), W: e.W})
+			}
+		}
+		// Update absorbIn by diffing the old row.
+		oldRow := lf.out[cf]
+		lf.out[cf] = row
+		isEntry := l.role[v].IsEntry()
+		if !isEntry {
+			for _, e := range oldRow {
+				lf.absorbIn[e.To] = dropEdge(lf.absorbIn[e.To], cf)
+			}
+			for _, e := range row {
+				lf.absorbIn[e.To] = append(lf.absorbIn[e.To], engine.WEdge{To: cf, W: e.W})
+			}
+			lf.absorbOut[cf] = row
+		}
+	}
+
+	frame := &engine.Frame{Out: lf.absorbOut}
+	for _, u := range s.Entries {
+		cu := lf.idx[u]
+		vec := s.scVec[u]
+		if vec == nil {
+			continue
+		}
+		if l.sr.Idempotent() {
+			acts += l.updateEntryMin(s, u, cu, vec, frame, cAdded, cRemoved)
+		} else {
+			acts += l.updateEntrySum(s, u, cu, vec, frame, cAdded, cRemoved)
+		}
+	}
+	_ = zero
+	return acts
+}
+
+// cDiff is an internal edge diff in a subgraph's compact ID space.
+type cDiff struct {
+	from, to graph.VertexID
+	w        float64
+}
+
+// updateEntrySum applies exact inverse deltas for one entry's vector.
+func (l *Layph) updateEntrySum(s *Subgraph, u graph.VertexID, cu int32, vec []float64,
+	frame *engine.Frame, added, removed []cDiff) int64 {
+	k := len(vec)
+	pending := make([]float64, k)
+	var acts int64
+	seeded := false
+	contrib := func(from graph.VertexID, w float64) float64 {
+		if from == graph.VertexID(cu) {
+			return l.sr.One() * w // direct seed edge from the entry
+		}
+		if l.role[s.Local.ids[from]].IsEntry() {
+			return 0 // other entries are absorbing: their edges carry nothing
+		}
+		return vec[from] * w
+	}
+	for _, e := range removed {
+		if m := contrib(e.from, e.w); m != 0 {
+			pending[e.to] -= m
+			seeded = true
+			acts++
+		}
+	}
+	for _, e := range added {
+		if m := contrib(e.from, e.w); m != 0 {
+			pending[e.to] += m
+			seeded = true
+			acts++
+		}
+	}
+	if !seeded {
+		return acts
+	}
+	res := engine.Run(frame, l.sr, vec, pending, engine.Options{Workers: 1, Tolerance: l.scTol()})
+	acts += res.Activations
+	s.scVec[u] = res.X
+	l.rebuildShortcutLists(s, u)
+	return acts
+}
+
+// scTol is the tolerance of shortcut-maintenance fixpoints: tighter than the
+// propagation tolerance because shortcut weights are reused by every later
+// update, so truncation would accumulate across batches.
+func (l *Layph) scTol() float64 { return l.tol * 1e-2 }
+
+// updateEntryMin applies ⊥-cancellation resets and recomputation for one
+// entry's vector.
+func (l *Layph) updateEntryMin(s *Subgraph, u graph.VertexID, cu int32, vec []float64,
+	frame *engine.Frame, added, removed []cDiff) int64 {
+	lf := s.Local
+	k := len(vec)
+	zero := l.sr.Zero()
+	par := s.scParent[u]
+	var acts int64
+
+	tagged := make(map[graph.VertexID]struct{})
+	var queue []graph.VertexID
+	tag := func(c graph.VertexID) {
+		if _, ok := tagged[c]; !ok {
+			tagged[c] = struct{}{}
+			queue = append(queue, c)
+		}
+	}
+	for _, e := range removed {
+		if e.from == graph.VertexID(cu) || par[e.to] == e.from {
+			tag(e.to)
+		}
+	}
+	var resets []graph.VertexID
+	if len(queue) > 0 {
+		children := make(map[graph.VertexID][]graph.VertexID)
+		for c, p := range par {
+			if p != engine.NoParent {
+				children[p] = append(children[p], graph.VertexID(c))
+			}
+		}
+		for len(queue) > 0 {
+			c := queue[0]
+			queue = queue[1:]
+			resets = append(resets, c)
+			for _, ch := range children[c] {
+				tag(ch)
+			}
+		}
+	}
+	for _, c := range resets {
+		vec[c] = zero
+		par[c] = engine.NoParent
+	}
+
+	pending := make([]float64, k)
+	for i := range pending {
+		pending[i] = zero
+	}
+	var act []graph.VertexID
+	inAct := make(map[graph.VertexID]struct{})
+	activate := func(c graph.VertexID) {
+		if _, ok := inAct[c]; !ok {
+			inAct[c] = struct{}{}
+			act = append(act, c)
+		}
+	}
+	// Offers for reset targets from intact sources: u's direct edges plus
+	// non-tagged absorbing-frame in-neighbors.
+	for _, c := range resets {
+		for _, e := range lf.out[cu] {
+			if e.To == c {
+				pending[c] = l.sr.Plus(pending[c], l.sr.Times(l.sr.One(), e.W))
+				acts++
+			}
+		}
+		for _, ie := range lf.absorbIn[c] {
+			a := ie.To
+			if _, isTag := tagged[a]; isTag || vec[a] == zero {
+				continue
+			}
+			offer := l.sr.Times(vec[a], ie.W)
+			acts++
+			if offer != zero {
+				pending[c] = l.sr.Plus(pending[c], offer)
+			}
+		}
+		if pending[c] != zero {
+			activate(c)
+		}
+	}
+	// Compensation candidates from added edges.
+	for _, e := range added {
+		var offer float64
+		switch {
+		case e.from == graph.VertexID(cu):
+			offer = l.sr.Times(l.sr.One(), e.w)
+		case l.role[lf.ids[e.from]].IsEntry():
+			continue
+		case vec[e.from] != zero:
+			offer = l.sr.Times(vec[e.from], e.w)
+		default:
+			continue
+		}
+		acts++
+		if l.sr.Plus(vec[e.to], offer) != vec[e.to] {
+			pending[e.to] = l.sr.Plus(pending[e.to], offer)
+			activate(e.to)
+		}
+	}
+	if len(act) == 0 && len(resets) == 0 {
+		return acts
+	}
+	res := engine.Run(frame, l.sr, vec, pending, engine.Options{
+		Workers: 1, Tolerance: l.scTol(), InitialActive: act, TrackChanged: true,
+	})
+	acts += res.Activations
+	s.scVec[u] = res.X
+	// Repair compact parents for everything that moved.
+	for _, c := range res.Changed {
+		par[c] = l.scWitness(s, u, res.X, c)
+	}
+	for _, c := range resets {
+		par[c] = l.scWitness(s, u, res.X, c)
+	}
+	l.rebuildShortcutLists(s, u)
+	return acts
+}
+
+// computeUpOut derives a flat vertex's upper-layer out-list: flat edges
+// leaving its subgraph (or any flat edge, for outliers) plus, for entries,
+// their boundary shortcuts.
+func (l *Layph) computeUpOut(v graph.VertexID) []engine.WEdge {
+	if !l.flatAlive(v) || !l.onUp(v) {
+		return nil
+	}
+	sv := l.subOf[v]
+	var out []engine.WEdge
+	for _, e := range l.flatOut[v] {
+		if sv != NoSubgraph && l.subOf[e.To] == sv {
+			continue
+		}
+		out = append(out, e)
+	}
+	if l.role[v].IsEntry() {
+		if s := l.subs[sv]; s != nil {
+			out = append(out, s.ShortToBoundary[v]...)
+		}
+	}
+	return out
+}
+
+// refreshUpVertex recomputes v's Lup out-list and mirrors the diff into the
+// Lup in-lists.
+func (l *Layph) refreshUpVertex(v graph.VertexID) {
+	old := l.upOut[v]
+	fresh := l.computeUpOut(v)
+	l.upOut[v] = fresh
+	oldM := make(map[graph.VertexID]float64, len(old))
+	for _, e := range old {
+		oldM[e.To] = e.W
+	}
+	for _, e := range fresh {
+		if w, ok := oldM[e.To]; ok && w == e.W {
+			delete(oldM, e.To)
+			continue
+		}
+		if _, ok := oldM[e.To]; ok {
+			l.upIn[e.To] = dropEdge(l.upIn[e.To], v)
+			delete(oldM, e.To)
+		}
+		l.upIn[e.To] = append(l.upIn[e.To], engine.WEdge{To: v, W: e.W})
+	}
+	for to := range oldM {
+		l.upIn[to] = dropEdge(l.upIn[to], v)
+	}
+}

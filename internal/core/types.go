@@ -1,0 +1,300 @@
+// Package core implements Layph, the paper's primary contribution: a
+// two-layered graph framework that constrains the change propagation of
+// incremental graph processing.
+//
+// The upper layer (Lup) is a small skeleton: the entry/exit vertices of all
+// dense subgraphs, the vertices that belong to no dense subgraph (outliers),
+// the original edges among them, and shortcuts that teleport messages from
+// entry vertices across each dense subgraph. The lower layer (Llow) holds
+// the internal vertices and intra-subgraph edges. Incremental runs perform
+// (1) a layered-graph update restricted to the subgraphs hit by ΔG,
+// (2) a revision-message upload via local per-subgraph fixpoints,
+// (3) the only global iteration — on the small Lup skeleton — and
+// (4) a one-shot assignment of the accumulated entry messages to internal
+// vertices through entry→internal shortcuts.
+//
+// Vertex replication (Section IV-A1): a high-degree external vertex with at
+// least R parallel edges into (out of) one dense subgraph is replicated
+// inside it as a proxy; the host↔proxy link carries the semiring unit, so
+// path algebra is preserved while many boundary vertices become internal and
+// the skeleton shrinks (Figure 8 measures the effect).
+//
+// The package works on the "flat" layered graph: the original graph with
+// proxy rewiring applied but no shortcuts. The flat graph is
+// message-equivalent to the original, and all memoized state (vertex states
+// and, for idempotent algorithms, dependency parents) lives on it.
+package core
+
+import (
+	"layph/internal/algo"
+	"layph/internal/community"
+	"layph/internal/engine"
+	"layph/internal/graph"
+	"layph/internal/metrics"
+)
+
+// Role classifies a flat vertex with respect to the layered structure.
+type Role uint8
+
+// Role values. Boundary roles (entry/exit) place a vertex on Lup.
+const (
+	// RoleOutlier is a vertex in no dense subgraph; it lives on Lup.
+	RoleOutlier Role = iota
+	// RoleEntry is a dense-subgraph vertex with an external in-edge.
+	RoleEntry
+	// RoleExit is a dense-subgraph vertex with an external out-edge.
+	RoleExit
+	// RoleEntryExit is both.
+	RoleEntryExit
+	// RoleInternal is a dense-subgraph vertex with no external edges; it
+	// lives on Llow and is excluded from global iteration.
+	RoleInternal
+	// RoleDead marks tombstoned vertices and orphaned proxies.
+	RoleDead
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleOutlier:
+		return "outlier"
+	case RoleEntry:
+		return "entry"
+	case RoleExit:
+		return "exit"
+	case RoleEntryExit:
+		return "entry+exit"
+	case RoleInternal:
+		return "internal"
+	case RoleDead:
+		return "dead"
+	}
+	return "?"
+}
+
+// IsEntry reports whether the role receives external messages.
+func (r Role) IsEntry() bool { return r == RoleEntry || r == RoleEntryExit }
+
+// IsBoundary reports whether the role is on Lup as part of a dense subgraph.
+func (r Role) IsBoundary() bool {
+	return r == RoleEntry || r == RoleExit || r == RoleEntryExit
+}
+
+// NoSubgraph marks vertices outside every dense subgraph.
+const NoSubgraph = int32(-1)
+
+// Subgraph is one dense lower-layer subgraph (paper Definition 2).
+type Subgraph struct {
+	// ID is the community id backing this subgraph (stable across updates).
+	ID int32
+	// Members are the flat vertices of the subgraph: live original members
+	// plus this subgraph's proxies.
+	Members []graph.VertexID
+	// Entries, Exits and Internal partition Members by role (entry+exit
+	// vertices appear in both Entries and Exits).
+	Entries  []graph.VertexID
+	Exits    []graph.VertexID
+	Internal []graph.VertexID
+	// Local is the compact message-passing frame over Members' internal
+	// edges; shortcut deduction and upload fixpoints run on it.
+	Local *localFrame
+	// ShortToBoundary maps each entry to its shortcuts targeting boundary
+	// vertices (these become Lup edges); ShortToInternal targets internal
+	// vertices (these connect the layers). Weights are semiring weights
+	// deduced per Equation (6).
+	ShortToBoundary map[graph.VertexID][]engine.WEdge
+	ShortToInternal map[graph.VertexID][]engine.WEdge
+
+	// origMembers are the community's original vertices (kept across
+	// rebuilds, filtered for liveness); proxies are this subgraph's live
+	// proxy vertices.
+	origMembers []graph.VertexID
+	proxies     []graph.VertexID
+
+	// Memoized per-entry shortcut state for incremental maintenance
+	// (Section IV-B): scVec[u] holds the local fixpoint values over compact
+	// IDs; scParent[u] (idempotent algorithms only) the compact dependency
+	// parents, so that internal edge changes are absorbed with revision
+	// messages instead of full re-deduction.
+	scVec    map[graph.VertexID][]float64
+	scParent map[graph.VertexID][]graph.VertexID
+}
+
+// NumShortcuts returns the total shortcut count of the subgraph.
+func (s *Subgraph) NumShortcuts() int {
+	n := 0
+	for _, l := range s.ShortToBoundary {
+		n += len(l)
+	}
+	for _, l := range s.ShortToInternal {
+		n += len(l)
+	}
+	return n
+}
+
+// localFrame is a compact-ID projection of a subgraph's internal edges.
+//
+// absorbOut is the same adjacency with entry vertices' out-lists removed:
+// entries are absorbing in local fixpoints, because everything an entry
+// holds is propagated internally by shortcut application instead (shortcut
+// weights count internal paths that avoid intermediate entries, so Lup
+// shortcut composition covers through-entry paths exactly once — no double
+// counting in the sum semiring). absorbIn mirrors absorbOut for the
+// incremental shortcut updater's offer scans.
+type localFrame struct {
+	idx       map[graph.VertexID]int32 // global -> compact
+	ids       []graph.VertexID         // compact -> global
+	out       [][]engine.WEdge         // full internal adjacency
+	absorbOut [][]engine.WEdge         // adjacency with absorbing entries
+	absorbIn  [][]engine.WEdge         // reverse of absorbOut (To = source)
+}
+
+func (lf *localFrame) size() int { return len(lf.ids) }
+
+// proxyKey identifies a proxy slot: one host vertex replicated into one
+// subgraph in one direction.
+type proxyKey struct {
+	sub  int32
+	host graph.VertexID
+}
+
+// Options configures layered-graph construction and the online engine.
+type Options struct {
+	// Community configures dense-subgraph discovery; MaxSize is the paper's
+	// K (0 lets Build pick ~0.1% of |V|, clamped to [8, 4096]).
+	Community community.Config
+	// ReplicationThreshold is R: an external vertex with at least R parallel
+	// edges into/out of one subgraph is replicated as a proxy (default 3).
+	// DisableReplication turns the optimization off (Figure 8's ablation).
+	ReplicationThreshold int
+	DisableReplication   bool
+	// Workers is the parallelism of the global (Lup) iteration.
+	Workers int
+	// Tolerance overrides the algorithm's message-significance threshold.
+	Tolerance float64
+}
+
+func (o Options) replication() int {
+	if o.DisableReplication {
+		return 0
+	}
+	if o.ReplicationThreshold > 0 {
+		return o.ReplicationThreshold
+	}
+	return 3
+}
+
+// Layph is the layered incremental engine (implements inc.System).
+type Layph struct {
+	g   *graph.Graph
+	a   algo.Algorithm
+	sr  algo.Semiring
+	opt Options
+	tol float64
+
+	// part holds the frozen community membership of original vertices.
+	part *community.Partition
+	// subs maps community id -> dense subgraph (absent = dissolved/sparse).
+	subs map[int32]*Subgraph
+
+	// Flat-vertex metadata; indices cover originals then proxies.
+	subOf      []int32
+	role       []Role
+	proxyHost  []graph.VertexID // NoHost for non-proxies
+	proxyAlive []bool
+	entryProxy map[proxyKey]graph.VertexID
+	exitProxy  map[proxyKey]graph.VertexID
+
+	// Flat layered graph (original + proxy rewiring, semiring weights).
+	flatOut [][]engine.WEdge
+	flatIn  [][]engine.WEdge
+	// Upper-layer skeleton (cross edges + proxy links + entry shortcuts).
+	upOut [][]engine.WEdge
+	upIn  [][]engine.WEdge
+
+	// Memoized computation state over the flat ID space.
+	x      []float64
+	parent []graph.VertexID // idempotent algorithms only
+	// origCap is the size of the original-vertex segment of the flat ID
+	// space; proxies occupy [origCap, flatN).
+	origCap int
+
+	// OfflineStats records construction + initial batch run cost (Fig 11b);
+	// LastPhases records the most recent Update's per-phase runtime (Fig 7);
+	// LastActs records the per-phase edge activations of the last Update.
+	OfflineStats OfflineStats
+	LastPhases   *metrics.Phases
+	LastActs     map[string]int64
+}
+
+// NoHost marks non-proxy vertices in proxyHost.
+const NoHost = graph.VertexID(engine.NoParent)
+
+// OfflineStats describes the one-time preprocessing cost.
+type OfflineStats struct {
+	// BuildSeconds is layered-graph construction time (detection,
+	// replication, shortcut deduction); InitialSeconds is the initial batch
+	// run on the flat graph.
+	BuildSeconds   float64
+	InitialSeconds float64
+	// ShortcutCount is the number of deduced shortcut weights (Fig 11a);
+	// ShortcutActivations the F applications spent deducing them.
+	ShortcutCount       int
+	ShortcutActivations int64
+	// DenseSubgraphs and Proxies describe the structure.
+	DenseSubgraphs int
+	Proxies        int
+}
+
+// flatAlive reports liveness of a flat vertex (original or proxy).
+func (l *Layph) flatAlive(v graph.VertexID) bool {
+	if int(v) < l.g.Cap() {
+		return l.g.Alive(v)
+	}
+	if int(v) < len(l.proxyAlive) {
+		return l.proxyAlive[v]
+	}
+	return false
+}
+
+// flatN returns the size of the flat ID space.
+func (l *Layph) flatN() int { return len(l.flatOut) }
+
+// onUp reports whether a flat vertex participates in the global iteration.
+func (l *Layph) onUp(v graph.VertexID) bool {
+	r := l.role[v]
+	return r == RoleOutlier || r.IsBoundary()
+}
+
+// Name returns "layph".
+func (l *Layph) Name() string { return "layph" }
+
+// States returns the memoized states over the flat ID space; indices below
+// g.Cap() are the original vertices' states.
+func (l *Layph) States() []float64 { return l.x }
+
+// Graph returns the underlying graph.
+func (l *Layph) Graph() *graph.Graph { return l.g }
+
+// Subgraphs returns the dense subgraphs keyed by community id.
+func (l *Layph) Subgraphs() map[int32]*Subgraph { return l.subs }
+
+// UpperLayerSize returns the vertex and edge counts of the skeleton
+// (Figure 8a's "Lup" and "reshaped Lup" series).
+func (l *Layph) UpperLayerSize() (vertices, edges int) {
+	for v := 0; v < l.flatN(); v++ {
+		if l.flatAlive(graph.VertexID(v)) && l.onUp(graph.VertexID(v)) {
+			vertices++
+			edges += len(l.upOut[v])
+		}
+	}
+	return vertices, edges
+}
+
+// ShortcutCount returns the current number of shortcut weights (Fig 11a).
+func (l *Layph) ShortcutCount() int {
+	n := 0
+	for _, s := range l.subs {
+		n += s.NumShortcuts()
+	}
+	return n
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"layph/internal/algo"
+	"layph/internal/community"
+	"layph/internal/delta"
+	"layph/internal/engine"
+	"layph/internal/gen"
+	"layph/internal/graph"
+)
+
+// twoBlockGraph builds two dense 12-cliques joined by one bridge — small
+// enough to reason about individual structural transitions.
+func twoBlockGraph() *graph.Graph {
+	g := graph.New(24)
+	for b := 0; b < 2; b++ {
+		base := graph.VertexID(b * 12)
+		for i := graph.VertexID(0); i < 12; i++ {
+			for j := graph.VertexID(0); j < 12; j++ {
+				if i != j {
+					g.AddEdge(base+i, base+j, 1+float64((i+j)%4))
+				}
+			}
+		}
+	}
+	g.AddEdge(11, 12, 2) // bridge
+	return g
+}
+
+func TestRoleFlipInternalToEntry(t *testing.T) {
+	g := twoBlockGraph()
+	l := New(g, algo.NewSSSP(0), Options{Community: commCfg(12)})
+	if len(l.subs) != 2 {
+		t.Fatalf("want 2 dense subgraphs, got %d", len(l.subs))
+	}
+	// Find an internal vertex of block 2 and give it an external in-edge.
+	var victim graph.VertexID
+	for v := graph.VertexID(12); v < 24; v++ {
+		if l.role[v] == RoleInternal {
+			victim = v
+			break
+		}
+	}
+	if victim == 0 {
+		t.Skip("no internal vertex (all boundary)")
+	}
+	applied := delta.Apply(g, delta.Batch{{Kind: delta.AddEdge, U: 0, V: victim, W: 9}})
+	l.Update(applied)
+	if !l.role[victim].IsEntry() {
+		t.Fatalf("role after external in-edge: %v", l.role[victim])
+	}
+	// The new entry must have shortcuts and be on the skeleton.
+	s := l.subs[l.subOf[victim]]
+	if len(s.ShortToInternal[victim])+len(s.ShortToBoundary[victim]) == 0 {
+		t.Fatal("new entry has no shortcuts")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// And back: deleting the only external in-edge reverts it to internal.
+	applied = delta.Apply(g, delta.Batch{{Kind: delta.DelEdge, U: 0, V: victim}})
+	l.Update(applied)
+	if l.role[victim] != RoleInternal {
+		t.Fatalf("role after removing the external in-edge: %v", l.role[victim])
+	}
+	if _, still := s.ShortToInternal[victim]; still {
+		t.Fatal("stale shortcut origin for demoted entry")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubgraphDissolution(t *testing.T) {
+	g := twoBlockGraph()
+	l := New(g, algo.NewSSSP(0), Options{Community: commCfg(12)})
+	// Rip out most intra edges of block 2 until it fails Definition 2.
+	var batch delta.Batch
+	for i := graph.VertexID(12); i < 24; i++ {
+		for j := graph.VertexID(12); j < 24; j++ {
+			if i != j && (i+j)%3 != 0 {
+				batch = append(batch, delta.Update{Kind: delta.DelEdge, U: i, V: j})
+			}
+		}
+	}
+	applied := delta.Apply(g, batch)
+	l.Update(applied)
+	for v := graph.VertexID(12); v < 24; v++ {
+		if g.Alive(v) && l.subOf[v] != NoSubgraph && l.subs[l.subOf[v]] == nil {
+			t.Fatalf("vertex %d references dissolved subgraph", v)
+		}
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := engine.RunBatch(g, algo.NewSSSP(0), engine.Options{})
+	if !algo.StatesClose(l.States()[:g.Cap()], want.X, 1e-9) {
+		t.Fatal("states diverge after dissolution")
+	}
+}
+
+func TestProxyDecisionFlip(t *testing.T) {
+	g := twoBlockGraph()
+	// Give vertex 0 many parallel edges into block 2 to force an entry proxy.
+	for _, v := range []graph.VertexID{13, 14, 15, 16} {
+		g.AddEdge(0, v, 3)
+	}
+	l := New(g, algo.NewSSSP(0), Options{Community: commCfg(12)})
+	sub2 := l.subOf[13]
+	if sub2 == NoSubgraph {
+		t.Skip("block 2 not dense")
+	}
+	hadProxy := l.hasProxy(l.entryProxy, sub2, 0)
+	if !hadProxy {
+		t.Skip("replication threshold not crossed on this layout")
+	}
+	// Delete the parallel edges: the proxy must be orphaned.
+	applied := delta.Apply(g, delta.Batch{
+		{Kind: delta.DelEdge, U: 0, V: 13},
+		{Kind: delta.DelEdge, U: 0, V: 14},
+		{Kind: delta.DelEdge, U: 0, V: 15},
+	})
+	l.Update(applied)
+	if l.hasProxy(l.entryProxy, sub2, 0) {
+		t.Fatal("proxy survived dropping below the replication threshold")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := engine.RunBatch(g, algo.NewSSSP(0), engine.Options{})
+	if !algo.StatesClose(l.States()[:g.Cap()], want.X, 1e-9) {
+		t.Fatal("states diverge after proxy flip")
+	}
+}
+
+// Property: incremental shortcut maintenance must agree with full
+// re-deduction after arbitrary intra-subgraph weight churn.
+func TestIncrementalShortcutsMatchFullDeduction(t *testing.T) {
+	f := func(seed int64) bool {
+		g, _ := gen.CommunityGraph(gen.CommunityConfig{
+			Vertices: 240, MeanCommunity: 20, IntraDegree: 6, InterDegree: 0.2,
+			Weighted: true, Seed: seed,
+		})
+		for _, mk := range []func() algo.Algorithm{
+			func() algo.Algorithm { return algo.NewSSSP(0) },
+			func() algo.Algorithm { return algo.NewPageRank(0.85, 1e-10) },
+		} {
+			l := New(g.Clone(), mk(), Options{})
+			gLocal := l.Graph()
+			genr := delta.NewGenerator(seed + 5)
+			for b := 0; b < 3; b++ {
+				applied := delta.Apply(gLocal, genr.EdgeBatch(gLocal, 30, true))
+				l.Update(applied)
+			}
+			for _, s := range l.subs {
+				fresh := &Subgraph{ID: s.ID, origMembers: s.origMembers, proxies: s.proxies,
+					Members: s.Members, Entries: s.Entries, Exits: s.Exits, Internal: s.Internal,
+					ShortToBoundary: map[graph.VertexID][]engine.WEdge{},
+					ShortToInternal: map[graph.VertexID][]engine.WEdge{}}
+				l.buildLocalFrame(fresh)
+				l.deduceShortcuts(fresh)
+				for _, u := range s.Entries {
+					mem, ref := s.scVec[u], fresh.scVec[u]
+					for i := range mem {
+						mi, ri := mem[i], ref[i]
+						if math.IsInf(mi, 1) != math.IsInf(ri, 1) {
+							t.Logf("seed %d sub %d entry %d idx %d: inf mismatch %v vs %v", seed, s.ID, u, i, mi, ri)
+							return false
+						}
+						if !math.IsInf(mi, 1) && math.Abs(mi-ri) > 1e-6 {
+							t.Logf("seed %d sub %d entry %d idx %d: %v vs %v", seed, s.ID, u, i, mi, ri)
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexGrowthRemapsProxies(t *testing.T) {
+	g, _ := gen.CommunityGraph(gen.CommunityConfig{
+		Vertices: 800, MeanCommunity: 40, IntraDegree: 8, InterDegree: 0.2,
+		HubFraction: 0.03, HubDegree: 40, Weighted: true, Seed: 12,
+	})
+	l := New(g, algo.NewSSSP(0), Options{})
+	if l.OfflineStats.Proxies == 0 {
+		t.Skip("no proxies on this layout")
+	}
+	// Adding vertices forces the proxy segment past the new cap.
+	genr := delta.NewGenerator(5)
+	batch := genr.VertexBatch(g, 10, 0, 4, true)
+	applied := delta.Apply(g, batch)
+	l.Update(applied)
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := engine.RunBatch(g, algo.NewSSSP(0), engine.Options{})
+	if !algo.StatesClose(l.States()[:g.Cap()], want.X, 1e-9) {
+		t.Fatal("states diverge after proxy remap")
+	}
+}
+
+func commCfg(maxSize int) (c community.Config) { c.MaxSize = maxSize; return c }

@@ -1,0 +1,364 @@
+// Package delta models the input change streams (ΔG) of incremental graph
+// processing: unit edge/vertex insertions and deletions, batches thereof, and
+// seeded random batch generators matching the paper's workloads ("5,000
+// random edge updates", "1,000 vertex updates: 500 added + 500 deleted").
+package delta
+
+import (
+	"fmt"
+	"math/rand"
+
+	"layph/internal/graph"
+)
+
+// Kind discriminates the unit update types.
+type Kind uint8
+
+// Unit update kinds. Edge-weight changes are modelled, as in the paper, as a
+// DelEdge followed by an AddEdge with the new weight.
+const (
+	AddEdge Kind = iota
+	DelEdge
+	AddVertex
+	DelVertex
+)
+
+func (k Kind) String() string {
+	switch k {
+	case AddEdge:
+		return "add-edge"
+	case DelEdge:
+		return "del-edge"
+	case AddVertex:
+		return "add-vertex"
+	case DelVertex:
+		return "del-vertex"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Update is one unit update. For edge updates U and V are the endpoints; for
+// vertex updates U is the vertex (V unused). W is the weight of an added edge.
+type Update struct {
+	Kind Kind
+	U, V graph.VertexID
+	W    float64
+}
+
+func (u Update) String() string {
+	switch u.Kind {
+	case AddEdge:
+		return fmt.Sprintf("+(%d,%d,%g)", u.U, u.V, u.W)
+	case DelEdge:
+		return fmt.Sprintf("-(%d,%d)", u.U, u.V)
+	case AddVertex:
+		return fmt.Sprintf("+v%d", u.U)
+	case DelVertex:
+		return fmt.Sprintf("-v%d", u.U)
+	}
+	return "?"
+}
+
+// Batch is an ordered sequence of unit updates applied atomically between two
+// incremental runs.
+type Batch []Update
+
+// Applied captures the NET effect of a batch on a graph plus a chronological
+// log, sufficient both for revision-message deduction by the engines (which
+// must see net pre-batch → post-batch differences, not intermediate churn)
+// and for undoing the batch exactly.
+type Applied struct {
+	// AddedEdges lists edges present after the batch that were absent (or
+	// had a different weight) before it; for weight changes the matching
+	// previous edge appears in RemovedEdges.
+	AddedEdges []graph.DeletedEdge
+	// RemovedEdges lists edges present before the batch that are absent (or
+	// reweighted) after it (weight = old weight).
+	RemovedEdges []graph.DeletedEdge
+	// AddedVertices and RemovedVertices list net vertex liveness transitions.
+	AddedVertices   []graph.VertexID
+	RemovedVertices []graph.VertexID
+
+	log []logRec
+}
+
+type logOp uint8
+
+const (
+	opAddEdge   logOp = iota // inserted fresh edge
+	opSetEdge                // overwrote existing edge weight
+	opDelEdge                // removed edge
+	opNewVertex              // appended fresh vertex
+	opRevive                 // revived tombstoned vertex
+	opDelVertex              // tombstoned vertex (incident edges logged separately)
+)
+
+type logRec struct {
+	op    logOp
+	u, v  graph.VertexID
+	w     float64 // new weight for add/set
+	prevW float64 // previous weight for set
+	edges []graph.DeletedEdge
+}
+
+// Empty reports whether the batch changed nothing.
+func (a *Applied) Empty() bool {
+	return len(a.AddedEdges) == 0 && len(a.RemovedEdges) == 0 &&
+		len(a.AddedVertices) == 0 && len(a.RemovedVertices) == 0
+}
+
+// Apply mutates g according to the batch and returns the effective NET
+// changes. Updates that are no-ops on the current graph (deleting a missing
+// edge, adding an existing edge with identical weight, deleting a dead
+// vertex) are skipped silently — random streams legitimately contain such
+// collisions, and a batch that adds then deletes the same edge nets out to
+// nothing.
+func Apply(g *graph.Graph, b Batch) *Applied {
+	a := &Applied{}
+	// before captures, at first touch, whether an edge / a vertex existed
+	// pre-batch and with what weight; net summaries compare it to the
+	// post-batch graph.
+	beforeE := make(map[uint64]edgeBefore)
+	beforeV := make(map[graph.VertexID]bool)
+	key := func(u, v graph.VertexID) uint64 { return uint64(u)<<32 | uint64(v) }
+	touchEdge := func(u, v graph.VertexID) {
+		k := key(u, v)
+		if _, seen := beforeE[k]; !seen {
+			w, ok := g.HasEdge(u, v)
+			beforeE[k] = edgeBefore{w: w, exists: ok}
+		}
+	}
+	touchVertex := func(v graph.VertexID) {
+		if _, seen := beforeV[v]; !seen {
+			beforeV[v] = g.Alive(v)
+		}
+	}
+
+	for _, u := range b {
+		switch u.Kind {
+		case AddEdge:
+			if !g.Alive(u.U) || !g.Alive(u.V) || u.U == u.V {
+				continue
+			}
+			touchEdge(u.U, u.V)
+			prev, replaced := g.AddEdge(u.U, u.V, u.W)
+			if replaced {
+				if prev == u.W {
+					continue // true no-op
+				}
+				a.log = append(a.log, logRec{op: opSetEdge, u: u.U, v: u.V, w: u.W, prevW: prev})
+			} else {
+				a.log = append(a.log, logRec{op: opAddEdge, u: u.U, v: u.V, w: u.W})
+			}
+		case DelEdge:
+			touchEdge(u.U, u.V)
+			if w, ok := g.DeleteEdge(u.U, u.V); ok {
+				a.log = append(a.log, logRec{op: opDelEdge, u: u.U, v: u.V, w: w})
+			}
+		case AddVertex:
+			if int(u.U) < g.Cap() {
+				if g.Alive(u.U) {
+					continue
+				}
+				touchVertex(u.U)
+				g.ReviveVertex(u.U)
+				a.log = append(a.log, logRec{op: opRevive, u: u.U})
+			} else {
+				for int(u.U) >= g.Cap() {
+					id := g.AddVertex()
+					beforeV[id] = false
+					a.log = append(a.log, logRec{op: opNewVertex, u: id})
+				}
+			}
+		case DelVertex:
+			if !g.Alive(u.U) {
+				continue
+			}
+			touchVertex(u.U)
+			removed := g.DeleteVertex(u.U)
+			for _, d := range removed {
+				touchEdgeLate(beforeE, key(d.From, d.To), d.W)
+			}
+			a.log = append(a.log, logRec{op: opDelVertex, u: u.U, edges: removed})
+		}
+	}
+
+	// Net edge summaries.
+	for k, b0 := range beforeE {
+		u := graph.VertexID(k >> 32)
+		v := graph.VertexID(k & 0xffffffff)
+		w1, exists1 := g.HasEdge(u, v)
+		switch {
+		case !b0.exists && exists1:
+			a.AddedEdges = append(a.AddedEdges, graph.DeletedEdge{From: u, To: v, W: w1})
+		case b0.exists && !exists1:
+			a.RemovedEdges = append(a.RemovedEdges, graph.DeletedEdge{From: u, To: v, W: b0.w})
+		case b0.exists && exists1 && b0.w != w1:
+			a.RemovedEdges = append(a.RemovedEdges, graph.DeletedEdge{From: u, To: v, W: b0.w})
+			a.AddedEdges = append(a.AddedEdges, graph.DeletedEdge{From: u, To: v, W: w1})
+		}
+	}
+	// Net vertex summaries.
+	for v, was := range beforeV {
+		is := g.Alive(v)
+		switch {
+		case !was && is:
+			a.AddedVertices = append(a.AddedVertices, v)
+		case was && !is:
+			a.RemovedVertices = append(a.RemovedVertices, v)
+		}
+	}
+	return a
+}
+
+type edgeBefore struct {
+	w      float64
+	exists bool
+}
+
+// touchEdgeLate records a pre-batch edge observation for an edge removed as
+// a side effect of DeleteVertex: edges created earlier in the batch are
+// already in beforeE, so an unseen pair here genuinely predates the batch.
+func touchEdgeLate(beforeE map[uint64]edgeBefore, k uint64, w float64) {
+	if _, seen := beforeE[k]; !seen {
+		beforeE[k] = edgeBefore{w: w, exists: true}
+	}
+}
+
+// Undo replays the batch log in reverse, restoring g to its exact pre-batch
+// state (IDs included).
+func Undo(g *graph.Graph, a *Applied) {
+	for i := len(a.log) - 1; i >= 0; i-- {
+		r := a.log[i]
+		switch r.op {
+		case opAddEdge:
+			g.DeleteEdge(r.u, r.v)
+		case opSetEdge:
+			g.AddEdge(r.u, r.v, r.prevW)
+		case opDelEdge:
+			g.AddEdge(r.u, r.v, r.w)
+		case opNewVertex, opRevive:
+			g.DeleteVertex(r.u)
+		case opDelVertex:
+			g.ReviveVertex(r.u)
+			for _, e := range r.edges {
+				g.AddEdge(e.From, e.To, e.W)
+			}
+		}
+	}
+}
+
+// Generator produces random update batches against a live graph, mirroring
+// the paper's ΔG construction: half additions of fresh random edges, half
+// deletions of existing edges (or, for vertex batches, half vertex adds and
+// half vertex deletes).
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator returns a seeded generator.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// EdgeBatch builds a batch with n/2 random edge insertions and n/2 deletions
+// of edges sampled from g. Weights of inserted edges are uniform in [1,10) if
+// weighted, else 1. The batch references g's current state but does not
+// mutate it.
+func (gen *Generator) EdgeBatch(g *graph.Graph, n int, weighted bool) Batch {
+	b := make(Batch, 0, n)
+	half := n / 2
+	live := liveVertices(g)
+	if len(live) < 2 {
+		return nil
+	}
+	for i := 0; i < n-half; i++ {
+		u := live[gen.rng.Intn(len(live))]
+		v := live[gen.rng.Intn(len(live))]
+		if u == v {
+			v = live[(gen.rng.Intn(len(live))+1)%len(live)]
+		}
+		w := 1.0
+		if weighted {
+			w = 1 + 9*gen.rng.Float64()
+		}
+		b = append(b, Update{Kind: AddEdge, U: u, V: v, W: w})
+	}
+	// Sample existing edges for deletion via random source vertices with
+	// degree-proportional retries; collisions with already-chosen deletions
+	// are fine (Apply skips no-ops).
+	for i := 0; i < half; i++ {
+		for try := 0; try < 32; try++ {
+			u := live[gen.rng.Intn(len(live))]
+			outs := g.Out(u)
+			if len(outs) == 0 {
+				continue
+			}
+			e := outs[gen.rng.Intn(len(outs))]
+			b = append(b, Update{Kind: DelEdge, U: u, V: e.To})
+			break
+		}
+	}
+	gen.rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+	return b
+}
+
+// VertexBatch builds a batch with adds/2 fresh vertices (each wired with
+// wiring random edges to existing vertices so they participate in
+// computation) and dels/2 deletions of random live vertices.
+func (gen *Generator) VertexBatch(g *graph.Graph, adds, dels, wiring int, weighted bool) Batch {
+	var b Batch
+	live := liveVertices(g)
+	if len(live) == 0 {
+		return nil
+	}
+	next := graph.VertexID(g.Cap())
+	for i := 0; i < adds; i++ {
+		id := next
+		next++
+		b = append(b, Update{Kind: AddVertex, U: id})
+		for k := 0; k < wiring; k++ {
+			peer := live[gen.rng.Intn(len(live))]
+			w := 1.0
+			if weighted {
+				w = 1 + 9*gen.rng.Float64()
+			}
+			if gen.rng.Intn(2) == 0 {
+				b = append(b, Update{Kind: AddEdge, U: id, V: peer, W: w})
+			} else {
+				b = append(b, Update{Kind: AddEdge, U: peer, V: id, W: w})
+			}
+		}
+	}
+	for i := 0; i < dels; i++ {
+		b = append(b, Update{Kind: DelVertex, U: live[gen.rng.Intn(len(live))]})
+	}
+	return b
+}
+
+func liveVertices(g *graph.Graph) []graph.VertexID {
+	live := make([]graph.VertexID, 0, g.NumVertices())
+	g.Vertices(func(v graph.VertexID) { live = append(live, v) })
+	return live
+}
+
+// TouchedVertices returns the set of vertices incident to any effective
+// change in a; engines use it to seed revision-message deduction.
+func (a *Applied) TouchedVertices() map[graph.VertexID]struct{} {
+	s := make(map[graph.VertexID]struct{})
+	for _, e := range a.AddedEdges {
+		s[e.From] = struct{}{}
+		s[e.To] = struct{}{}
+	}
+	for _, e := range a.RemovedEdges {
+		s[e.From] = struct{}{}
+		s[e.To] = struct{}{}
+	}
+	for _, v := range a.AddedVertices {
+		s[v] = struct{}{}
+	}
+	for _, v := range a.RemovedVertices {
+		s[v] = struct{}{}
+	}
+	return s
+}

@@ -1,0 +1,26 @@
+// Package dzig reimplements the algorithmic strategy of DZiG (Mariappan,
+// Che & Vora, EuroSys 2021): GraphBolt's dependency-driven synchronous
+// incremental processing extended with sparsity-aware refinement. While the
+// per-iteration changed set is sparse, value deltas are pushed along
+// out-edges instead of re-pulling full in-lists; when it densifies past a
+// threshold, processing falls back to GraphBolt-style pulls.
+//
+// The engine is the sparsity-aware mode of the graphbolt package; this
+// package gives it the system identity the paper's comparison tables use.
+package dzig
+
+import (
+	"layph/internal/algo"
+	"layph/internal/graph"
+	"layph/internal/graphbolt"
+)
+
+// Engine is a DZiG instance; see package graphbolt for the mechanics.
+type Engine = graphbolt.Engine
+
+// New builds a DZiG engine over g and runs the synchronous batch
+// computation. It panics for idempotent algorithms (DZiG provides no
+// SSSP/BFS implementations, as noted in the paper).
+func New(g *graph.Graph, a algo.Algorithm) *Engine {
+	return graphbolt.New(g, a, graphbolt.ModeSparseAware)
+}

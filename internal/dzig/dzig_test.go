@@ -1,0 +1,41 @@
+package dzig
+
+import (
+	"testing"
+
+	"layph/internal/algo"
+	"layph/internal/enginetest"
+	"layph/internal/graph"
+	"layph/internal/inc"
+)
+
+func factory(g *graph.Graph, a algo.Algorithm) inc.System { return New(g, a) }
+
+func TestEquivalenceSumAlgorithms(t *testing.T) {
+	for name, mk := range enginetest.SumAlgorithms() {
+		t.Run(name, func(t *testing.T) {
+			enginetest.RunEquivalence(t, "dzig/"+name, factory, mk, enginetest.DefaultConfig())
+		})
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1)
+	e := New(g, algo.NewPageRank(0.85, 1e-8))
+	if e.Name() != "dzig" {
+		t.Fatalf("name = %q", e.Name())
+	}
+	if len(e.States()) != 2 {
+		t.Fatal("states")
+	}
+}
+
+func TestRejectsMonotonic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for BFS")
+		}
+	}()
+	New(graph.New(1), algo.NewBFS(0))
+}

@@ -1,0 +1,148 @@
+// Package enginetest provides the shared correctness harness for every
+// incremental engine in this repository: after each random update batch, the
+// engine's states must match a from-scratch batch restart on the updated
+// graph (exactly for the tropical semiring, within tolerance for the real
+// one). This is the defining equation of incremental computation,
+// IA(A(G), ΔG) = A(G ⊕ ΔG) — Equation (4) of the paper.
+package enginetest
+
+import (
+	"testing"
+
+	"layph/internal/algo"
+	"layph/internal/delta"
+	"layph/internal/engine"
+	"layph/internal/gen"
+	"layph/internal/graph"
+	"layph/internal/inc"
+)
+
+// Factory constructs an incremental engine bound to g and a. The factory is
+// expected to run the initial batch computation.
+type Factory func(g *graph.Graph, a algo.Algorithm) inc.System
+
+// AlgoMaker builds an algorithm instance; source-rooted algorithms should
+// root at vertex 0 (the harness never deletes vertex 0).
+type AlgoMaker func() algo.Algorithm
+
+// Config tunes an equivalence run.
+type Config struct {
+	Seeds         []int64
+	Vertices      int
+	Batches       int // update batches per seed
+	BatchSize     int // edge updates per batch
+	VertexUpdates bool
+	Atol          float64 // state comparison tolerance
+	Weighted      bool
+}
+
+// DefaultConfig returns the standard small-graph equivalence setup.
+func DefaultConfig() Config {
+	return Config{
+		Seeds:     []int64{1, 2, 3},
+		Vertices:  400,
+		Batches:   4,
+		BatchSize: 60,
+		Atol:      1e-6,
+		Weighted:  true,
+	}
+}
+
+// RunEquivalence drives the engine through cfg.Batches random batches per
+// seed and fails the test on the first divergence from a batch restart.
+func RunEquivalence(t *testing.T, name string, factory Factory, mkAlgo AlgoMaker, cfg Config) {
+	t.Helper()
+	for _, seed := range cfg.Seeds {
+		g, _ := gen.CommunityGraph(gen.CommunityConfig{
+			Vertices:      cfg.Vertices,
+			MeanCommunity: 25,
+			IntraDegree:   6,
+			InterDegree:   0.4,
+			HubFraction:   0.01,
+			HubDegree:     10,
+			Weighted:      cfg.Weighted,
+			Seed:          seed,
+		})
+		sys := factory(g, mkAlgo())
+		genr := delta.NewGenerator(seed * 977)
+		for b := 0; b < cfg.Batches; b++ {
+			batch := genr.EdgeBatch(g, cfg.BatchSize, cfg.Weighted)
+			if cfg.VertexUpdates {
+				batch = append(batch, genr.VertexBatch(g, 3, 3, 2, cfg.Weighted)...)
+				batch = dropVertexZeroDeletes(batch)
+			}
+			applied := delta.Apply(g, batch)
+			sys.Update(applied)
+
+			want := engine.RunBatch(g, mkAlgo(), engine.Options{Workers: 4})
+			got := sys.States()
+			if len(got) < len(want.X) {
+				t.Fatalf("%s seed=%d batch=%d: state vector too short (%d < %d)",
+					name, seed, b, len(got), len(want.X))
+			}
+			if !statesCloseLive(g, got, want.X, cfg.Atol) {
+				t.Fatalf("%s seed=%d batch=%d: incremental != restart, max diff %v",
+					name, seed, b, maxDiffLive(g, got, want.X))
+			}
+		}
+	}
+}
+
+func dropVertexZeroDeletes(b delta.Batch) delta.Batch {
+	out := b[:0]
+	for _, u := range b {
+		if u.Kind == delta.DelVertex && u.U == 0 {
+			continue
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+func statesCloseLive(g *graph.Graph, got, want []float64, atol float64) bool {
+	ok := true
+	g.Vertices(func(v graph.VertexID) {
+		if !ok {
+			return
+		}
+		if !algo.StatesClose(got[v:v+1], want[v:v+1], atol) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+func maxDiffLive(g *graph.Graph, got, want []float64) float64 {
+	var worst float64
+	g.Vertices(func(v graph.VertexID) {
+		if d := algo.MaxStateDiff(got[v:v+1], want[v:v+1]); d > worst {
+			worst = d
+		}
+	})
+	return worst
+}
+
+// AllAlgorithms returns the four paper workloads rooted at vertex 0 where
+// applicable, keyed by name.
+func AllAlgorithms() map[string]AlgoMaker {
+	return map[string]AlgoMaker{
+		"sssp":     func() algo.Algorithm { return algo.NewSSSP(0) },
+		"bfs":      func() algo.Algorithm { return algo.NewBFS(0) },
+		"pagerank": func() algo.Algorithm { return algo.NewPageRank(0.85, 1e-10) },
+		"php":      func() algo.Algorithm { return algo.NewPHP(0, 0.8, 1e-10) },
+	}
+}
+
+// MinAlgorithms returns the idempotent workloads (KickStarter and RisGraph
+// only support these, as in the paper).
+func MinAlgorithms() map[string]AlgoMaker {
+	all := AllAlgorithms()
+	return map[string]AlgoMaker{"sssp": all["sssp"], "bfs": all["bfs"]}
+}
+
+// SumAlgorithms returns the non-idempotent workloads (GraphBolt and DZiG
+// only support these, as in the paper).
+func SumAlgorithms() map[string]AlgoMaker {
+	all := AllAlgorithms()
+	return map[string]AlgoMaker{"pagerank": all["pagerank"], "php": all["php"]}
+}

@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList serializes the graph as "u v w" lines, one per edge, in
+// canonical (source-major, then destination) order. Tombstoned vertices that
+// lie below Cap() are preserved implicitly: a header line "# vertices N"
+// records the ID space so a round trip restores identical IDs.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vertices %d\n", g.Cap()); err != nil {
+		return err
+	}
+	for u := range g.out {
+		if !g.alive[u] {
+			if _, err := fmt.Fprintf(bw, "# dead %d\n", u); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, e := range g.out[u] {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", u, e.To, e.W); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. It also accepts
+// plain "u v" (weight defaults to 1) and "u v w" edge lists without a header,
+// in which case the vertex count is 1 + the maximum ID seen.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var g *Graph
+	type rawEdge struct {
+		u, v VertexID
+		w    float64
+	}
+	var pending []rawEdge
+	var dead []VertexID
+	maxID := VertexID(0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			switch {
+			case len(fields) == 3 && fields[1] == "vertices":
+				n, err := strconv.Atoi(fields[2])
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad vertex count: %v", lineNo, err)
+				}
+				g = New(n)
+			case len(fields) == 3 && fields[1] == "dead":
+				id, err := strconv.ParseUint(fields[2], 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad dead id: %v", lineNo, err)
+				}
+				dead = append(dead, VertexID(id))
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("line %d: want 'u v [w]', got %q", lineNo, line)
+		}
+		u64, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad source: %v", lineNo, err)
+		}
+		v64, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad destination: %v", lineNo, err)
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad weight: %v", lineNo, err)
+			}
+		}
+		e := rawEdge{VertexID(u64), VertexID(v64), w}
+		if e.u > maxID {
+			maxID = e.u
+		}
+		if e.v > maxID {
+			maxID = e.v
+		}
+		pending = append(pending, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		n := 0
+		if len(pending) > 0 {
+			n = int(maxID) + 1
+		}
+		g = New(n)
+	}
+	for _, e := range pending {
+		if int(e.u) >= g.Cap() || int(e.v) >= g.Cap() {
+			return nil, fmt.Errorf("edge (%d,%d) exceeds declared vertex count %d", e.u, e.v, g.Cap())
+		}
+		g.AddEdge(e.u, e.v, e.w)
+	}
+	for _, d := range dead {
+		if int(d) >= g.Cap() {
+			return nil, fmt.Errorf("dead vertex %d exceeds declared vertex count %d", d, g.Cap())
+		}
+		g.DeleteVertex(d)
+	}
+	return g, nil
+}

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1.5)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(4, 0, 3)
+	g.DeleteVertex(3)
+
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap() != g.Cap() || r.NumVertices() != g.NumVertices() || r.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip mismatch: cap=%d V=%d E=%d", r.Cap(), r.NumVertices(), r.NumEdges())
+	}
+	if r.Alive(3) {
+		t.Fatal("dead vertex revived by round trip")
+	}
+	g.Edges(func(u, v VertexID, w float64) {
+		if got, ok := r.HasEdge(u, v); !ok || got != w {
+			t.Fatalf("edge (%d,%d,%v) lost in round trip (got %v,%v)", u, v, w, got, ok)
+		}
+	})
+}
+
+func TestReadPlainEdgeList(t *testing.T) {
+	in := "0 1\n1 2 3.5\n\n2 0 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if w, ok := g.HasEdge(0, 1); !ok || w != 1 {
+		t.Fatal("default weight not 1")
+	}
+	if w, ok := g.HasEdge(1, 2); !ok || w != 3.5 {
+		t.Fatal("explicit weight lost")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",
+		"a b\n",
+		"0 b\n",
+		"0 1 x\n",
+		"# vertices 2\n0 5 1\n",
+		"# vertices nope\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty input should yield empty graph")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(1, 0, 1)
+	s := ComputeStats(g)
+	if s.Vertices != 4 || s.Edges != 4 {
+		t.Fatalf("stats V=%d E=%d", s.Vertices, s.Edges)
+	}
+	if s.MaxOutDegree != 3 || s.MaxInDegree != 1 {
+		t.Fatalf("degrees out=%d in=%d", s.MaxOutDegree, s.MaxInDegree)
+	}
+	if s.AvgDegree != 1 {
+		t.Fatalf("avg = %v", s.AvgDegree)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats summarizes the structural properties the evaluation reports (Table I
+// style rows) and the ones the layered-graph builder cares about.
+type Stats struct {
+	Vertices     int
+	Edges        int
+	MaxOutDegree int
+	MaxInDegree  int
+	AvgDegree    float64
+	// DegreeP99 is the 99th-percentile out-degree; web graphs have heavy
+	// tails which drive the vertex-replication optimization.
+	DegreeP99 int
+}
+
+// ComputeStats scans the graph once and returns its Stats.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{Vertices: g.NumVertices(), Edges: g.NumEdges()}
+	degs := make([]int, 0, g.NumVertices())
+	g.Vertices(func(v VertexID) {
+		od, id := g.OutDegree(v), g.InDegree(v)
+		if od > s.MaxOutDegree {
+			s.MaxOutDegree = od
+		}
+		if id > s.MaxInDegree {
+			s.MaxInDegree = id
+		}
+		degs = append(degs, od)
+	})
+	if s.Vertices > 0 {
+		s.AvgDegree = float64(s.Edges) / float64(s.Vertices)
+		sort.Ints(degs)
+		s.DegreeP99 = degs[(len(degs)*99)/100]
+	}
+	return s
+}
+
+// String renders the stats as a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d avg-deg=%.2f max-out=%d max-in=%d p99-out=%d",
+		s.Vertices, s.Edges, s.AvgDegree, s.MaxOutDegree, s.MaxInDegree, s.DegreeP99)
+}
+
+// UndirectedDegree returns the degree of v counting both directions, with
+// reciprocal edges counted twice. Community detection works on this view.
+func (g *Graph) UndirectedDegree(v VertexID) int {
+	return g.OutDegree(v) + g.InDegree(v)
+}
+
+// UndirectedWeight returns the total incident weight of v in the undirected
+// view (out plus in).
+func (g *Graph) UndirectedWeight(v VertexID) float64 {
+	var s float64
+	for _, e := range g.out[v] {
+		s += e.W
+	}
+	for _, e := range g.in[v] {
+		s += e.W
+	}
+	return s
+}
+
+// NeighborsUndirected calls f once per incident edge in either direction
+// (u appearing both as in- and out-neighbor triggers two calls).
+func (g *Graph) NeighborsUndirected(v VertexID, f func(u VertexID, w float64)) {
+	for _, e := range g.out[v] {
+		f(e.To, e.W)
+	}
+	for _, e := range g.in[v] {
+		f(e.To, e.W)
+	}
+}

@@ -1,0 +1,173 @@
+package inc
+
+import (
+	"math"
+	"testing"
+
+	"layph/internal/algo"
+	"layph/internal/delta"
+	"layph/internal/engine"
+	"layph/internal/graph"
+)
+
+func buildDiamond() *graph.Graph {
+	g := graph.New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(3, 4, 1)
+	return g
+}
+
+func TestTouchedSources(t *testing.T) {
+	a := &delta.Applied{
+		AddedEdges:      []graph.DeletedEdge{{From: 1, To: 2}},
+		RemovedEdges:    []graph.DeletedEdge{{From: 3, To: 4}},
+		RemovedVertices: []graph.VertexID{7},
+	}
+	s := TouchedSources(a)
+	for _, v := range []graph.VertexID{1, 3, 7} {
+		if _, ok := s[v]; !ok {
+			t.Fatalf("missing %d in %v", v, s)
+		}
+	}
+	if _, ok := s[2]; ok {
+		t.Fatal("edge targets must not be touched sources")
+	}
+}
+
+func TestGrowVectors(t *testing.T) {
+	x := GrowVectors([]float64{1}, 3, 9)
+	if len(x) != 3 || x[1] != 9 || x[2] != 9 || x[0] != 1 {
+		t.Fatalf("grow: %v", x)
+	}
+	p := GrowParents(nil, 2)
+	if len(p) != 2 || p[0] != engine.NoParent {
+		t.Fatalf("parents: %v", p)
+	}
+}
+
+func TestRefreshFrame(t *testing.T) {
+	g := buildDiamond()
+	a := algo.NewSSSP(0)
+	f := engine.BuildFrame(g, a)
+	g.DeleteEdge(1, 3)
+	g.AddEdge(1, 4, 7)
+	old := RefreshFrame(f, g, a, map[graph.VertexID]struct{}{1: {}})
+	if len(old[1]) != 1 || old[1][0].To != 3 {
+		t.Fatalf("old list: %v", old[1])
+	}
+	if len(f.Out[1]) != 1 || f.Out[1][0].To != 4 || f.Out[1][0].W != 7 {
+		t.Fatalf("new list: %v", f.Out[1])
+	}
+	// Dead vertex loses its list.
+	g.DeleteVertex(2)
+	RefreshFrame(f, g, a, map[graph.VertexID]struct{}{2: {}})
+	if len(f.Out[2]) != 0 {
+		t.Fatal("dead vertex keeps frame edges")
+	}
+}
+
+func TestSumDeduction(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	a := algo.NewPageRank(0.85, 1e-9)
+	f := engine.BuildFrame(g, a)
+	xOld := []float64{2, 0, 0} // pretend state
+	// Delete (0,2): out-degree 2 -> 1, so weight of (0,1) changes too.
+	oldLists := map[graph.VertexID][]engine.WEdge{0: f.Out[0]}
+	g.DeleteEdge(0, 2)
+	RefreshFrame(f, g, a, map[graph.VertexID]struct{}{0: {}})
+	applied := &delta.Applied{RemovedEdges: []graph.DeletedEdge{{From: 0, To: 2, W: 1}}}
+	pending, acts := SumDeduction(xOld, oldLists, f, a, applied)
+	if acts == 0 {
+		t.Fatal("no activations counted")
+	}
+	// Vertex 2 loses x0*0.425; vertex 1 gains x0*(0.85-0.425).
+	if math.Abs(pending[2]-(-2*0.425)) > 1e-12 {
+		t.Fatalf("pending[2] = %v", pending[2])
+	}
+	if math.Abs(pending[1]-2*0.425) > 1e-12 {
+		t.Fatalf("pending[1] = %v", pending[1])
+	}
+}
+
+func TestDeduceMinTagsSubtree(t *testing.T) {
+	g := buildDiamond()
+	a := algo.NewSSSP(0)
+	res := engine.RunBatch(g, a, engine.Options{TrackParents: true})
+	x, parent := res.X, res.Parent
+	// Delete the dependency edge (1,3): 3 and its child 4 must reset.
+	g.DeleteEdge(1, 3)
+	applied := &delta.Applied{RemovedEdges: []graph.DeletedEdge{{From: 1, To: 3, W: 1}}}
+	d := DeduceMin(x, parent, g, a, applied)
+	if len(d.ResetList) != 2 {
+		t.Fatalf("resets: %v", d.ResetList)
+	}
+	if !math.IsInf(x[3], 1) || !math.IsInf(x[4], 1) {
+		t.Fatalf("states not reset: %v", x)
+	}
+	// Offer for 3 via the surviving path through 2 (cost 6).
+	if d.Pending[3] != 6 {
+		t.Fatalf("offer for 3: %v", d.Pending[3])
+	}
+	if d.Activations == 0 {
+		t.Fatal("offer scans not counted")
+	}
+}
+
+func TestDeduceMinAddedEdgeCandidate(t *testing.T) {
+	g := buildDiamond()
+	a := algo.NewSSSP(0)
+	res := engine.RunBatch(g, a, engine.Options{TrackParents: true})
+	x, parent := res.X, res.Parent
+	g.AddEdge(0, 4, 1)
+	applied := &delta.Applied{AddedEdges: []graph.DeletedEdge{{From: 0, To: 4, W: 1}}}
+	d := DeduceMin(x, parent, g, a, applied)
+	if d.Pending[4] != 1 {
+		t.Fatalf("candidate for 4: %v", d.Pending[4])
+	}
+	if len(d.Active) != 1 || d.Active[0] != 4 {
+		t.Fatalf("active: %v", d.Active)
+	}
+}
+
+func TestDeduceMinAddedVertex(t *testing.T) {
+	g := buildDiamond()
+	a := algo.NewSSSP(0)
+	res := engine.RunBatch(g, a, engine.Options{TrackParents: true})
+	x, parent := res.X, res.Parent
+	id := g.AddVertex()
+	x = GrowVectors(x, g.Cap(), math.Inf(1))
+	parent = GrowParents(parent, g.Cap())
+	applied := &delta.Applied{AddedVertices: []graph.VertexID{id}}
+	d := DeduceMin(x, parent, g, a, applied)
+	if !math.IsInf(x[id], 1) {
+		t.Fatalf("new vertex state: %v", x[id])
+	}
+	if len(d.Active) != 0 {
+		t.Fatal("isolated non-source vertex should not activate")
+	}
+}
+
+func TestRepairParents(t *testing.T) {
+	g := buildDiamond()
+	a := algo.NewSSSP(0)
+	res := engine.RunBatch(g, a, engine.Options{TrackParents: true})
+	pre := append([]float64(nil), res.X...)
+	// Corrupt parents, change one state, then repair.
+	parent := GrowParents(nil, g.Cap())
+	x := res.X
+	n := RepairParents(x, pre, []graph.VertexID{0, 1, 2, 3, 4}, parent, g, a)
+	if n == 0 {
+		t.Fatal("nothing repaired")
+	}
+	if parent[3] != 1 {
+		t.Fatalf("parent[3] = %v, want 1", parent[3])
+	}
+	if parent[0] != engine.NoParent {
+		t.Fatalf("source parent = %v", parent[0])
+	}
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("count = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestPhasesAccumulate(t *testing.T) {
+	p := NewPhases()
+	p.Add("a", 2*time.Millisecond)
+	p.Add("b", 6*time.Millisecond)
+	p.Add("a", 2*time.Millisecond)
+	if p.Get("a") != 4*time.Millisecond {
+		t.Fatalf("a = %v", p.Get("a"))
+	}
+	if p.Total() != 10*time.Millisecond {
+		t.Fatalf("total = %v", p.Total())
+	}
+	fr := p.Fractions()
+	if fr["a"] != 0.4 || fr["b"] != 0.6 {
+		t.Fatalf("fractions = %v", fr)
+	}
+	names := p.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestPhasesTimeAndString(t *testing.T) {
+	p := NewPhases()
+	p.Time("work", func() { time.Sleep(2 * time.Millisecond) })
+	if p.Get("work") <= 0 {
+		t.Fatal("Time did not record")
+	}
+	if !strings.Contains(p.String(), "work=") {
+		t.Fatalf("String() = %q", p.String())
+	}
+}
+
+func TestPhasesMerge(t *testing.T) {
+	a := NewPhases()
+	a.Add("x", time.Millisecond)
+	b := NewPhases()
+	b.Add("x", time.Millisecond)
+	b.Add("y", 3*time.Millisecond)
+	a.Merge(b)
+	if a.Get("x") != 2*time.Millisecond || a.Get("y") != 3*time.Millisecond {
+		t.Fatalf("merge: %v", a.String())
+	}
+}
+
+func TestEmptyPhases(t *testing.T) {
+	p := NewPhases()
+	if p.Total() != 0 || len(p.Fractions()) != 0 || p.String() != "" {
+		t.Fatal("empty phases not empty")
+	}
+}

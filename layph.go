@@ -1,0 +1,188 @@
+// Package layph is a from-scratch Go reproduction of "Layph: Making Change
+// Propagation Constraint in Incremental Graph Processing by Layering Graph"
+// (ICDE 2023).
+//
+// Layph accelerates incremental graph computation by splitting the graph
+// into two layers: a small upper-layer skeleton (boundary vertices of dense
+// subgraphs, outliers, and shortcuts that teleport messages across dense
+// subgraphs) and a lower layer of disjoint dense subgraphs. When the graph
+// changes, iterative computation is confined to the skeleton plus the few
+// subgraphs actually touched by the update batch.
+//
+// The package exposes:
+//
+//   - the graph substrate (NewGraph, ReadEdgeList, generators),
+//   - the four paper workloads in asynchronous accumulative form
+//     (SSSP, BFS, PageRank, PHP),
+//   - batch execution (Run — the "Restart" baseline),
+//   - Layph itself (NewLayph) and the five baseline incremental engines the
+//     paper compares against (NewIngress, NewKickStarter, NewRisGraph,
+//     NewGraphBolt, NewDZiG), all behind the System interface,
+//   - update-stream helpers (NewBatchGenerator, ApplyBatch).
+//
+// Quick start:
+//
+//	g := layph.GenerateCommunityGraph(layph.CommunityGraphConfig{
+//		Vertices: 10000, MeanCommunity: 40, IntraDegree: 8,
+//		InterDegree: 0.3, Weighted: true, Seed: 1,
+//	})
+//	sys := layph.NewLayph(g, layph.SSSP(0), layph.Config{})
+//	gen := layph.NewBatchGenerator(42)
+//	batch := gen.EdgeBatch(g, 5000, true)
+//	applied := layph.ApplyBatch(g, batch)
+//	stats := sys.Update(applied)
+//	fmt.Println(stats.Duration, stats.Activations, sys.States()[7])
+package layph
+
+import (
+	"io"
+
+	"layph/internal/algo"
+	"layph/internal/community"
+	"layph/internal/core"
+	"layph/internal/delta"
+	"layph/internal/engine"
+	"layph/internal/gen"
+	"layph/internal/graph"
+	"layph/internal/graphbolt"
+	"layph/internal/inc"
+	"layph/internal/ingress"
+	"layph/internal/kickstarter"
+	"layph/internal/risgraph"
+)
+
+// Graph is the mutable directed weighted graph all engines operate on.
+type Graph = graph.Graph
+
+// VertexID identifies a vertex.
+type VertexID = graph.VertexID
+
+// Algorithm is a vertex-centric computation in the paper's accumulative
+// model (message generation F, aggregation G, initial states and messages).
+type Algorithm = algo.Algorithm
+
+// System is an incremental engine: construct on a graph (runs the batch
+// computation), then alternate ApplyBatch and Update.
+type System = inc.System
+
+// Stats describes one incremental update run.
+type Stats = inc.Stats
+
+// Batch is an ordered sequence of unit graph updates (ΔG).
+type Batch = delta.Batch
+
+// Update is one unit update within a batch.
+type Update = delta.Update
+
+// Applied records the net effect of a batch on a graph.
+type Applied = delta.Applied
+
+// Update kinds for constructing batches by hand.
+const (
+	AddEdge   = delta.AddEdge
+	DelEdge   = delta.DelEdge
+	AddVertex = delta.AddVertex
+	DelVertex = delta.DelVertex
+)
+
+// NewGraph returns an empty graph with n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// ReadEdgeList parses "u v [w]" edge-list text into a graph.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// CommunityGraphConfig parameterizes GenerateCommunityGraph.
+type CommunityGraphConfig = gen.CommunityConfig
+
+// GenerateCommunityGraph builds a deterministic synthetic graph with planted
+// dense communities — the structure Layph exploits.
+func GenerateCommunityGraph(cfg CommunityGraphConfig) *Graph {
+	g, _ := gen.CommunityGraph(cfg)
+	return g
+}
+
+// SSSP returns single-source shortest paths rooted at source.
+func SSSP(source VertexID) Algorithm { return algo.NewSSSP(source) }
+
+// BFS returns hop distance from source.
+func BFS(source VertexID) Algorithm { return algo.NewBFS(source) }
+
+// PageRank returns PageRank with damping d and tolerance tol (the paper
+// uses d=0.85, tol=1e-6).
+func PageRank(d, tol float64) Algorithm { return algo.NewPageRank(d, tol) }
+
+// PHP returns penalized hitting probability from source with decay d.
+func PHP(source VertexID, d, tol float64) Algorithm { return algo.NewPHP(source, d, tol) }
+
+// Run executes the algorithm on the graph from scratch and returns the
+// converged states — the paper's "Restart" baseline.
+func Run(g *Graph, a Algorithm, threads int) []float64 {
+	return engine.RunBatch(g, a, engine.Options{Workers: threads}).X
+}
+
+// Config tunes Layph construction (zero value = paper defaults).
+type Config struct {
+	// Threads is the parallelism of global iterations (0 = GOMAXPROCS).
+	Threads int
+	// MaxCommunitySize is the paper's K (0 = ~0.1% of |V|).
+	MaxCommunitySize int
+	// ReplicationThreshold is the paper's R (0 = 3).
+	ReplicationThreshold int
+	// DisableReplication turns vertex replication off (Figure 8 ablation).
+	DisableReplication bool
+}
+
+// NewLayph builds the layered graph for g under a (offline phase), runs the
+// initial batch computation, and returns the incremental engine.
+func NewLayph(g *Graph, a Algorithm, cfg Config) *core.Layph {
+	return core.New(g, a, core.Options{
+		Workers:              cfg.Threads,
+		ReplicationThreshold: cfg.ReplicationThreshold,
+		DisableReplication:   cfg.DisableReplication,
+		Community:            community.Config{MaxSize: cfg.MaxCommunitySize},
+	})
+}
+
+// NewIngress returns the Ingress baseline (memoization-free for PageRank and
+// PHP, memoization-path for SSSP and BFS) — the engine Layph extends.
+func NewIngress(g *Graph, a Algorithm, threads int) System {
+	return ingress.New(g, a, engine.Options{Workers: threads})
+}
+
+// NewKickStarter returns the KickStarter baseline (SSSP/BFS only).
+func NewKickStarter(g *Graph, a Algorithm, threads int) System {
+	return kickstarter.New(g, a, engine.Options{Workers: threads})
+}
+
+// NewRisGraph returns the RisGraph baseline (SSSP/BFS only).
+func NewRisGraph(g *Graph, a Algorithm, threads int) System {
+	return risgraph.New(g, a, engine.Options{Workers: threads})
+}
+
+// NewGraphBolt returns the GraphBolt baseline (PageRank/PHP only).
+func NewGraphBolt(g *Graph, a Algorithm) System {
+	return graphbolt.New(g, a, graphbolt.ModePull)
+}
+
+// NewDZiG returns the DZiG baseline (PageRank/PHP only).
+func NewDZiG(g *Graph, a Algorithm) System {
+	return graphbolt.New(g, a, graphbolt.ModeSparseAware)
+}
+
+// BatchGenerator produces seeded random update batches.
+type BatchGenerator = delta.Generator
+
+// NewBatchGenerator returns a seeded batch generator.
+func NewBatchGenerator(seed int64) *BatchGenerator { return delta.NewGenerator(seed) }
+
+// ApplyBatch mutates g according to the batch and returns the net changes to
+// hand to System.Update.
+func ApplyBatch(g *Graph, b Batch) *Applied { return delta.Apply(g, b) }
+
+// UndoBatch reverses the effects recorded by ApplyBatch.
+func UndoBatch(g *Graph, a *Applied) { delta.Undo(g, a) }
+
+// StatesClose reports whether two state vectors agree within atol (infinite
+// entries must match exactly); useful for validating incremental results
+// against Run.
+func StatesClose(a, b []float64, atol float64) bool { return algo.StatesClose(a, b, atol) }

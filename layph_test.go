@@ -1,0 +1,94 @@
+package layph
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoGraph() *Graph {
+	return GenerateCommunityGraph(CommunityGraphConfig{
+		Vertices: 400, MeanCommunity: 25, IntraDegree: 6, InterDegree: 0.4,
+		Weighted: true, Seed: 7,
+	})
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := demoGraph()
+	sys := NewLayph(g, SSSP(0), Config{Threads: 2})
+	gen := NewBatchGenerator(1)
+	for i := 0; i < 3; i++ {
+		batch := gen.EdgeBatch(g, 40, true)
+		applied := ApplyBatch(g, batch)
+		st := sys.Update(applied)
+		if st.Duration <= 0 {
+			t.Fatal("no duration recorded")
+		}
+		want := Run(g, SSSP(0), 2)
+		if !StatesClose(sys.States()[:g.Cap()], want, 1e-6) {
+			t.Fatalf("batch %d: incremental != restart", i)
+		}
+	}
+}
+
+func TestAllSystemConstructors(t *testing.T) {
+	g := demoGraph()
+	minSystems := []System{
+		NewLayph(g.Clone(), SSSP(0), Config{}),
+		NewIngress(g.Clone(), SSSP(0), 2),
+		NewKickStarter(g.Clone(), SSSP(0), 2),
+		NewRisGraph(g.Clone(), SSSP(0), 2),
+	}
+	sumSystems := []System{
+		NewLayph(g.Clone(), PageRank(0.85, 1e-8), Config{}),
+		NewIngress(g.Clone(), PageRank(0.85, 1e-8), 2),
+		NewGraphBolt(g.Clone(), PageRank(0.85, 1e-8)),
+		NewDZiG(g.Clone(), PageRank(0.85, 1e-8)),
+	}
+	names := map[string]bool{}
+	for _, s := range append(minSystems, sumSystems...) {
+		if len(s.States()) < g.Cap() {
+			t.Fatalf("%s: short state vector", s.Name())
+		}
+		names[s.Name()] = true
+	}
+	for _, want := range []string{"layph", "ingress", "kickstarter", "risgraph", "graphbolt", "dzig"} {
+		if !names[want] {
+			t.Fatalf("missing system %q (got %v)", want, names)
+		}
+	}
+}
+
+func TestAlgorithmsExposed(t *testing.T) {
+	for _, a := range []Algorithm{SSSP(0), BFS(0), PageRank(0.85, 1e-6), PHP(0, 0.8, 1e-6)} {
+		if a.Name() == "" || a.Semiring() == nil {
+			t.Fatalf("bad algorithm %T", a)
+		}
+	}
+}
+
+func TestReadEdgeListExposed(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1 2\n1 2 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestManualBatch(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	sys := NewIngress(g, BFS(0), 1)
+	applied := ApplyBatch(g, Batch{
+		{Kind: AddEdge, U: 1, V: 2, W: 1},
+	})
+	sys.Update(applied)
+	if sys.States()[2] != 2 {
+		t.Fatalf("x2 = %v", sys.States()[2])
+	}
+	UndoBatch(g, applied)
+	if _, ok := g.HasEdge(1, 2); ok {
+		t.Fatal("undo failed")
+	}
+}
