@@ -1,0 +1,179 @@
+package main
+
+// layph serve: continuous ingestion mode. Updates are read from a text
+// stream (stdin or a file; see delta.ParseUpdate for the format) or
+// synthesized with -rand, pushed into the micro-batching pipeline of
+// internal/stream, and applied incrementally by the chosen engine while a
+// reporter goroutine prints rolling state and throughput.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"layph/internal/delta"
+	"layph/internal/graph"
+	"layph/internal/stream"
+)
+
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("layph serve", flag.ExitOnError)
+	ef := registerEngineFlags(fs)
+	var (
+		input     = fs.String("input", "", "update stream file ('-' = stdin; empty requires -rand)")
+		randN     = fs.Int("rand", 0, "synthesize this many random updates instead of reading -input")
+		seed      = fs.Int64("seed", 42, "seed for -rand")
+		maxBatch  = fs.Int("batch", 1024, "micro-batch count trigger")
+		maxDelay  = fs.Duration("window", 50*time.Millisecond, "micro-batch time trigger")
+		queueCap  = fs.Int("queue", 0, "bounded queue capacity (0 = 4*batch)")
+		policy    = fs.String("policy", "block", "backpressure on full queue: block | drop")
+		report    = fs.Duration("report", time.Second, "progress report interval (0 disables reports)")
+		top       = fs.Int("top", 3, "sample this many vertex states in reports")
+		maxVertex = fs.Uint("maxvertex", 0, "reject updates referencing vertex ids >= this (0 = |V| + 1048576)")
+	)
+	fs.Parse(args)
+
+	if *input == "" && *randN <= 0 {
+		fmt.Fprintln(os.Stderr, "serve: need -input FILE, -input -, or -rand N")
+		os.Exit(2)
+	}
+	var pol stream.Policy
+	switch *policy {
+	case "block":
+		pol = stream.Block
+	case "drop":
+		pol = stream.Drop
+	default:
+		fmt.Fprintf(os.Stderr, "serve: unknown -policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	buildStart := time.Now()
+	g, sys, _ := ef.build()
+	fmt.Printf("engine: %s ready in %v (initial batch computation done)\n",
+		sys.Name(), time.Since(buildStart).Round(time.Millisecond))
+
+	s := stream.New(g, sys, stream.Config{
+		MaxBatch: *maxBatch, MaxDelay: *maxDelay,
+		QueueCap: *queueCap, Policy: pol,
+	})
+
+	stopReport := make(chan struct{})
+	reportDone := make(chan struct{})
+	if *report > 0 {
+		go func() {
+			defer close(reportDone)
+			tick := time.NewTicker(*report)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopReport:
+					return
+				case <-tick.C:
+					printReport(s, *top)
+				}
+			}
+		}()
+	} else {
+		close(reportDone)
+	}
+
+	idCap := graph.VertexID(*maxVertex)
+	if idCap == 0 {
+		idCap = graph.VertexID(g.Cap() + 1<<20)
+	}
+	pushed, dropped := feed(s, *input, *randN, *seed, g, idCap)
+
+	if err := s.Drain(); err != nil {
+		fmt.Fprintln(os.Stderr, "drain:", err)
+	}
+	close(stopReport)
+	<-reportDone
+	snap := s.Query()
+	m := s.Metrics()
+	s.Close()
+
+	fmt.Printf("done: pushed=%d dropped=%d applied=%d batches=%d\n",
+		pushed, dropped, m.Applied, m.Batches)
+	fmt.Printf("engine totals: activations=%d rounds=%d resets=%d update-time=%v\n",
+		m.Engine.Activations, m.Engine.Rounds, m.Engine.Resets, m.Engine.Duration.Round(time.Microsecond))
+	fmt.Printf("final snapshot: seq=%d updates=%d %s\n", snap.Seq, snap.Updates, sampleStates(snap.States, *top))
+}
+
+// feed pushes the whole update source into the stream, returning how many
+// updates were pushed and dropped. Updates referencing vertex ids at or
+// above idCap are rejected: a single hostile "av 4294967295" line would
+// otherwise make the graph (and every engine state vector) grow to that
+// id and OOM the server.
+func feed(s *stream.Stream, input string, randN int, seed int64, g *graph.Graph, idCap graph.VertexID) (pushed, dropped int64) {
+	push := func(u delta.Update) {
+		switch err := s.Push(u); err {
+		case nil:
+			pushed++
+		case stream.ErrQueueFull:
+			dropped++
+		default:
+			fmt.Fprintln(os.Stderr, "push:", err)
+			os.Exit(1)
+		}
+	}
+
+	if randN > 0 {
+		for _, u := range delta.NewGenerator(seed).UnitSequence(g, randN, true) {
+			push(u)
+		}
+		return pushed, dropped
+	}
+
+	var r io.Reader
+	if input == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	err := delta.ForEachUpdate(r, func(lineno int, u delta.Update, perr error) error {
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "line %d: %v (skipped)\n", lineno, perr)
+			return nil
+		}
+		isEdge := u.Kind == delta.AddEdge || u.Kind == delta.DelEdge
+		if u.U >= idCap || (isEdge && u.V >= idCap) {
+			fmt.Fprintf(os.Stderr, "line %d: vertex id beyond -maxvertex %d (skipped)\n", lineno, idCap)
+			return nil
+		}
+		push(u)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "read:", err)
+	}
+	return pushed, dropped
+}
+
+func printReport(s *stream.Stream, top int) {
+	snap := s.Query()
+	m := s.Metrics()
+	fmt.Printf("t=%s seq=%-6d applied=%-9d rate=%.0f/s batch-lat=%v %s\n",
+		time.Now().Format("15:04:05"), snap.Seq, m.Applied, m.Throughput,
+		m.MeanBatchLatency.Round(time.Microsecond), sampleStates(snap.States, top))
+}
+
+func sampleStates(x []float64, top int) string {
+	if top <= 0 {
+		return ""
+	}
+	parts := make([]string, 0, top)
+	for i := 0; i < top && i < len(x); i++ {
+		parts = append(parts, fmt.Sprintf("x[%d]=%.4g", i, x[i]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,3 @@
+module layph
+
+go 1.24

@@ -73,6 +73,7 @@ func All() []Experiment {
 		{"fig10", "Fig 10: speedup over competitors vs batch size, SSSP & PR on UK", Fig10},
 		{"fig11a", "Fig 11a: additional space cost of shortcuts", Fig11a},
 		{"fig11b", "Fig 11b: offline preprocessing amortization, SSSP on UK", Fig11b},
+		{"stream", "Streaming: sustained micro-batched ingestion throughput, SSSP on UK", StreamingExperiment},
 	}
 }
 

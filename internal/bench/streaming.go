@@ -1,0 +1,80 @@
+package bench
+
+// Streaming scenario: instead of replaying pre-sized batches with one
+// Update call each, the same update sequence is pushed as unit updates
+// through the internal/stream micro-batching pipeline, measuring
+// sustained ingestion throughput and per-micro-batch latency per system.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"layph/internal/delta"
+	"layph/internal/gen"
+	"layph/internal/stream"
+)
+
+// StreamingResult is one system's measurement from the streaming scenario.
+type StreamingResult struct {
+	System SystemKind
+	// Updates streamed, micro-batches flushed.
+	Updates, Batches int64
+	// WallSeconds is total ingestion wall-clock (push to drain).
+	WallSeconds float64
+	// Throughput is Updates/WallSeconds.
+	Throughput float64
+	// MeanBatchMs is the mean apply+update latency per micro-batch.
+	MeanBatchMs float64
+	// Activations aggregates the engines' F applications.
+	Activations int64
+}
+
+// RunStreaming pushes n unit updates through each system behind the
+// micro-batching pipeline and measures sustained throughput.
+func RunStreaming(p gen.Preset, scale float64, n, microBatch, threads int, seed int64, kinds []SystemKind, mk AlgoMaker) []StreamingResult {
+	base := gen.Build(p, scale)
+	// One shared pre-generated sequence keeps the workload identical
+	// across systems.
+	seq := delta.NewGenerator(seed).UnitSequence(base, n, true)
+
+	out := make([]StreamingResult, 0, len(kinds))
+	for _, kind := range kinds {
+		g := base.Clone()
+		sys, _ := buildSystem(kind, g, mk, threads)
+		s := stream.New(g, sys, stream.Config{MaxBatch: microBatch, MaxDelay: -1})
+		start := time.Now()
+		for _, u := range seq {
+			if err := s.Push(u); err != nil {
+				panic(fmt.Sprintf("bench: streaming push on %s: %v", kind, err))
+			}
+		}
+		s.Close()
+		wall := time.Since(start).Seconds()
+		m := s.Metrics()
+		out = append(out, StreamingResult{
+			System: kind, Updates: m.Applied, Batches: m.Batches,
+			WallSeconds: wall, Throughput: float64(m.Applied) / wall,
+			MeanBatchMs: float64(m.MeanBatchLatency) / float64(time.Millisecond),
+			Activations: m.Engine.Activations,
+		})
+	}
+	return out
+}
+
+// StreamingExperiment prints the streaming scenario for SSSP on UK: every
+// min-scheme system ingesting the same unit-update stream.
+func StreamingExperiment(w io.Writer, o Options) {
+	o = o.normalize()
+	n := o.Batches * o.BatchSize
+	micro := o.BatchSize / 5
+	if micro < 1 {
+		micro = 1
+	}
+	fmt.Fprintf(w, "Streaming (SSSP on UK, %d unit updates, micro-batch=%d)\n", n, micro)
+	t := NewTable("system", "updates/s", "batches", "mean-batch-ms", "activations")
+	for _, r := range RunStreaming(gen.PresetUK, o.Scale, n, micro, o.Threads, o.Seed, MinSystems, Algorithms()["SSSP"]) {
+		t.Row(string(r.System), r.Throughput, r.Batches, r.MeanBatchMs, r.Activations)
+	}
+	t.Print(w)
+}

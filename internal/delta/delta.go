@@ -336,6 +336,31 @@ func (gen *Generator) VertexBatch(g *graph.Graph, adds, dels, wiring int, weight
 	return b
 }
 
+// UnitSequence builds an ordered sequence of n unit edge updates for
+// streaming: chunks are generated against an evolving private clone of g,
+// so deletions always target edges that exist by the time they are
+// reached in order. g itself is not mutated.
+func (gen *Generator) UnitSequence(g *graph.Graph, n int, weighted bool) Batch {
+	clone := g.Clone()
+	var seq Batch
+	for len(seq) < n {
+		per := n - len(seq)
+		if per > 1000 {
+			per = 1000
+		}
+		b := gen.EdgeBatch(clone, per, weighted)
+		if len(b) == 0 {
+			break
+		}
+		Apply(clone, b)
+		seq = append(seq, b...)
+	}
+	if len(seq) > n {
+		seq = seq[:n]
+	}
+	return seq
+}
+
 func liveVertices(g *graph.Graph) []graph.VertexID {
 	live := make([]graph.VertexID, 0, g.NumVertices())
 	g.Vertices(func(v graph.VertexID) { live = append(live, v) })

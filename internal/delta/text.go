@@ -1,0 +1,157 @@
+package delta
+
+// Text wire format for update streams, consumed by `layph serve` and the
+// streaming example. One update per line:
+//
+//	a <u> <v> [w]   add edge u->v with weight w (default 1)
+//	d <u> <v>       delete edge u->v
+//	av <u>          add vertex u
+//	dv <u>          delete vertex u
+//
+// Blank lines and lines starting with '#' are ignored.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"layph/internal/graph"
+)
+
+// ParseUpdate parses one line of the text wire format.
+func ParseUpdate(line string) (Update, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Update{}, fmt.Errorf("delta: empty update line")
+	}
+	parseID := func(s string) (graph.VertexID, error) {
+		n, err := strconv.ParseUint(s, 10, 32)
+		if err != nil {
+			return 0, fmt.Errorf("delta: bad vertex id %q", s)
+		}
+		return graph.VertexID(n), nil
+	}
+	switch fields[0] {
+	case "a":
+		if len(fields) != 3 && len(fields) != 4 {
+			return Update{}, fmt.Errorf("delta: want 'a <u> <v> [w]', got %q", line)
+		}
+		u, err := parseID(fields[1])
+		if err != nil {
+			return Update{}, err
+		}
+		v, err := parseID(fields[2])
+		if err != nil {
+			return Update{}, err
+		}
+		w := 1.0
+		if len(fields) == 4 {
+			w, err = strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return Update{}, fmt.Errorf("delta: bad weight %q", fields[3])
+			}
+		}
+		return Update{Kind: AddEdge, U: u, V: v, W: w}, nil
+	case "d":
+		if len(fields) != 3 {
+			return Update{}, fmt.Errorf("delta: want 'd <u> <v>', got %q", line)
+		}
+		u, err := parseID(fields[1])
+		if err != nil {
+			return Update{}, err
+		}
+		v, err := parseID(fields[2])
+		if err != nil {
+			return Update{}, err
+		}
+		return Update{Kind: DelEdge, U: u, V: v}, nil
+	case "av", "dv":
+		if len(fields) != 2 {
+			return Update{}, fmt.Errorf("delta: want '%s <u>', got %q", fields[0], line)
+		}
+		u, err := parseID(fields[1])
+		if err != nil {
+			return Update{}, err
+		}
+		k := AddVertex
+		if fields[0] == "dv" {
+			k = DelVertex
+		}
+		return Update{Kind: k, U: u}, nil
+	}
+	return Update{}, fmt.Errorf("delta: unknown update op %q", fields[0])
+}
+
+// FormatUpdate renders u in the text wire format (the inverse of
+// ParseUpdate).
+func FormatUpdate(u Update) string {
+	switch u.Kind {
+	case AddEdge:
+		return fmt.Sprintf("a %d %d %g", u.U, u.V, u.W)
+	case DelEdge:
+		return fmt.Sprintf("d %d %d", u.U, u.V)
+	case AddVertex:
+		return fmt.Sprintf("av %d", u.U)
+	case DelVertex:
+		return fmt.Sprintf("dv %d", u.U)
+	}
+	return "# ?"
+}
+
+// ForEachUpdate scans r line by line, skipping blanks and '#' comments,
+// and calls fn with the 1-based line number and that line's ParseUpdate
+// result. A non-nil error returned by fn stops the scan and is returned;
+// otherwise ForEachUpdate returns the scanner's error, if any. Callers
+// decide whether a parse error is fatal (ReadUpdates) or skippable
+// (`layph serve`).
+func ForEachUpdate(r io.Reader, fn func(lineno int, u Update, err error) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		u, err := ParseUpdate(line)
+		if err := fn(lineno, u, err); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// ReadUpdates parses a whole update stream into a batch, skipping blanks
+// and '#' comments; the first malformed line aborts with an error.
+func ReadUpdates(r io.Reader) (Batch, error) {
+	var b Batch
+	err := ForEachUpdate(r, func(lineno int, u Update, perr error) error {
+		if perr != nil {
+			return fmt.Errorf("line %d: %w", lineno, perr)
+		}
+		b = append(b, u)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// WriteUpdates renders a batch in the text wire format, one update per
+// line.
+func WriteUpdates(w io.Writer, b Batch) error {
+	bw := bufio.NewWriter(w)
+	for _, u := range b {
+		if _, err := bw.WriteString(FormatUpdate(u)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,55 @@
+package delta
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	b := Batch{
+		{Kind: AddEdge, U: 1, V: 2, W: 3.5},
+		{Kind: DelEdge, U: 2, V: 1},
+		{Kind: AddVertex, U: 9},
+		{Kind: DelVertex, U: 4},
+	}
+	var buf bytes.Buffer
+	if err := WriteUpdates(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadUpdates(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(b) {
+		t.Fatalf("round trip: %d updates, want %d", len(got), len(b))
+	}
+	for i := range b {
+		if got[i] != b[i] {
+			t.Fatalf("update %d: %v != %v", i, got[i], b[i])
+		}
+	}
+}
+
+func TestReadUpdatesSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\na 0 1\n  \nd 0 1\n# trailing\n"
+	b, err := ReadUpdates(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 2 || b[0].Kind != AddEdge || b[0].W != 1 || b[1].Kind != DelEdge {
+		t.Fatalf("parsed %v", b)
+	}
+}
+
+func TestParseUpdateErrors(t *testing.T) {
+	for _, line := range []string{"", "x 1 2", "a 1", "a 1 2 zz", "d 1", "av", "dv 1 2", "a -1 2"} {
+		if _, err := ParseUpdate(line); err == nil {
+			t.Fatalf("ParseUpdate(%q) accepted", line)
+		}
+	}
+	bad := "a 0 1\nboom\n"
+	if _, err := ReadUpdates(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("ReadUpdates error %v, want line 2 context", err)
+	}
+}

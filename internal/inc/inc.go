@@ -44,6 +44,16 @@ type Stats struct {
 	Duration time.Duration
 }
 
+// Add accumulates another update's record into s: counters and durations
+// sum, so a zero Stats is the identity. Streaming pipelines use it to
+// aggregate per-micro-batch records over a stream's lifetime.
+func (s *Stats) Add(o Stats) {
+	s.Activations += o.Activations
+	s.Rounds += o.Rounds
+	s.Resets += o.Resets
+	s.Duration += o.Duration
+}
+
 // System is the interface every incremental engine in this repository
 // implements (the five baselines and Layph). The lifecycle is: construct on
 // a graph (which runs the batch computation once), then repeatedly mutate

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Rolling is a fixed-size window over recent (count, duration) samples —
+// one per applied micro-batch in the streaming pipeline — from which
+// rolling throughput and latency are derived. It is concurrency-safe.
+type Rolling struct {
+	mu      sync.Mutex
+	samples []rollSample // ring buffer
+	next    int
+	filled  int
+}
+
+type rollSample struct {
+	n  int64
+	d  time.Duration
+	at time.Time
+}
+
+// NewRolling returns a window covering the most recent `window` samples.
+func NewRolling(window int) *Rolling {
+	if window <= 0 {
+		window = 64
+	}
+	return &Rolling{samples: make([]rollSample, window)}
+}
+
+// Observe records one sample of n processed items taking d.
+func (r *Rolling) Observe(n int64, d time.Duration) {
+	r.mu.Lock()
+	// at is the sample's start time, so Rate's window span includes the
+	// oldest sample's own duration (otherwise a single 100ms batch
+	// observed just now would report a near-infinite rate).
+	r.samples[r.next] = rollSample{n: n, d: d, at: time.Now().Add(-d)}
+	r.next = (r.next + 1) % len(r.samples)
+	if r.filled < len(r.samples) {
+		r.filled++
+	}
+	r.mu.Unlock()
+}
+
+// Count returns how many samples the window currently holds.
+func (r *Rolling) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.filled
+}
+
+// Rate returns items per second over the window: the summed counts
+// divided by the wall-clock span from the oldest sample to now. It
+// returns 0 with no samples.
+func (r *Rolling) Rate() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filled == 0 {
+		return 0
+	}
+	oldest := (r.next - r.filled + len(r.samples)) % len(r.samples)
+	var sum int64
+	for i := 0; i < r.filled; i++ {
+		sum += r.samples[(oldest+i)%len(r.samples)].n
+	}
+	span := time.Since(r.samples[oldest].at)
+	if span <= 0 {
+		// Degenerate clock resolution: fall back to summed busy time.
+		for i := 0; i < r.filled; i++ {
+			span += r.samples[(oldest+i)%len(r.samples)].d
+		}
+		if span <= 0 {
+			return 0
+		}
+	}
+	return float64(sum) / span.Seconds()
+}
+
+// MeanDuration returns the mean sample duration over the window (zero
+// with no samples).
+func (r *Rolling) MeanDuration() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filled == 0 {
+		return 0
+	}
+	oldest := (r.next - r.filled + len(r.samples)) % len(r.samples)
+	var sum time.Duration
+	for i := 0; i < r.filled; i++ {
+		sum += r.samples[(oldest+i)%len(r.samples)].d
+	}
+	return sum / time.Duration(r.filled)
+}

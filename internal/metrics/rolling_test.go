@@ -1,0 +1,38 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRollingWindowEviction(t *testing.T) {
+	r := NewRolling(4)
+	for i := 0; i < 10; i++ {
+		r.Observe(int64(i), time.Duration(i)*time.Millisecond)
+	}
+	if r.Count() != 4 {
+		t.Fatalf("count %d, want window cap 4", r.Count())
+	}
+	// Window holds samples 6..9: mean duration 7.5ms.
+	if mean := r.MeanDuration(); mean != 7500*time.Microsecond {
+		t.Fatalf("mean %v, want 7.5ms", mean)
+	}
+}
+
+func TestRollingRate(t *testing.T) {
+	r := NewRolling(8)
+	if r.Rate() != 0 || r.MeanDuration() != 0 {
+		t.Fatal("empty window must report zeros")
+	}
+	r.Observe(1000, time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	r.Observe(1000, time.Millisecond)
+	rate := r.Rate()
+	if rate <= 0 {
+		t.Fatalf("rate %v, want > 0", rate)
+	}
+	// 2000 items over >=10ms elapsed: rate must be bounded by 2000/0.01.
+	if rate > 2000/0.010+1 {
+		t.Fatalf("rate %v implausibly high for 10ms span", rate)
+	}
+}

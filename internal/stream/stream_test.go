@@ -1,0 +1,353 @@
+package stream
+
+import (
+	"hash/fnv"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"layph/internal/algo"
+	"layph/internal/delta"
+	"layph/internal/engine"
+	"layph/internal/gen"
+	"layph/internal/graph"
+	"layph/internal/inc"
+	"layph/internal/ingress"
+)
+
+func testGraph(seed int64) *graph.Graph {
+	g, _ := gen.CommunityGraph(gen.CommunityConfig{
+		Vertices: 600, MeanCommunity: 25, IntraDegree: 6, InterDegree: 0.4,
+		Weighted: true, Seed: seed,
+	})
+	return g
+}
+
+// updateSeq pre-generates a valid sequence of n unit updates (deletions
+// target edges that exist when reached).
+func updateSeq(g *graph.Graph, n int, seed int64) []delta.Update {
+	return delta.NewGenerator(seed).UnitSequence(g, n, true)
+}
+
+func hashStates(x []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range x {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// stubSys is an inc.System whose Update blocks until release is closed,
+// used to exercise backpressure without a real engine.
+type stubSys struct {
+	release chan struct{}
+	x       []float64
+}
+
+func (s *stubSys) Name() string      { return "stub" }
+func (s *stubSys) States() []float64 { return s.x }
+func (s *stubSys) Update(*delta.Applied) inc.Stats {
+	<-s.release
+	return inc.Stats{Rounds: 1}
+}
+
+func TestCountTrigger(t *testing.T) {
+	g := testGraph(1)
+	sys := ingress.New(g, algo.NewSSSP(0), engine.Options{Workers: 2})
+	results := make(chan BatchResult, 16)
+	s := New(g, sys, Config{
+		MaxBatch: 10, MaxDelay: -1, // time trigger off
+		OnBatch: func(r BatchResult) { results <- r },
+	})
+	seq := updateSeq(g, 25, 2)
+	for _, u := range seq {
+		if err := s.Push(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-results:
+			if r.Size != 10 {
+				t.Fatalf("batch %d: size %d, want 10 (count trigger)", i, r.Size)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("count-triggered batch never flushed")
+		}
+	}
+	select {
+	case r := <-results:
+		t.Fatalf("unexpected extra batch of size %d before drain", r.Size)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	r := <-results
+	if r.Size != 5 {
+		t.Fatalf("drained remainder: size %d, want 5", r.Size)
+	}
+	if snap := s.Query(); snap.Seq != 3 || snap.Updates != 25 {
+		t.Fatalf("snapshot seq=%d updates=%d, want 3/25", snap.Seq, snap.Updates)
+	}
+	s.Close()
+}
+
+func TestTimeTrigger(t *testing.T) {
+	g := testGraph(3)
+	sys := ingress.New(g, algo.NewSSSP(0), engine.Options{Workers: 2})
+	results := make(chan BatchResult, 4)
+	s := New(g, sys, Config{
+		MaxBatch: 1 << 20, MaxDelay: 20 * time.Millisecond,
+		OnBatch: func(r BatchResult) { results <- r },
+	})
+	defer s.Close()
+	for _, u := range updateSeq(g, 3, 4) {
+		if err := s.Push(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case r := <-results:
+		if r.Size != 3 {
+			t.Fatalf("time-triggered batch size %d, want 3", r.Size)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("time trigger never fired")
+	}
+}
+
+func TestDrainOnClose(t *testing.T) {
+	g := testGraph(5)
+	sys := ingress.New(g, algo.NewSSSP(0), engine.Options{Workers: 2})
+	s := New(g, sys, Config{MaxBatch: 1 << 20, MaxDelay: -1})
+	seq := updateSeq(g, 100, 6)
+	for _, u := range seq {
+		if err := s.Push(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Query()
+	if snap.Updates != 100 {
+		t.Fatalf("close flushed %d updates, want all 100", snap.Updates)
+	}
+	m := s.Metrics()
+	if m.Applied != 100 || m.Accepted != 100 {
+		t.Fatalf("metrics applied=%d accepted=%d, want 100/100", m.Applied, m.Accepted)
+	}
+	if err := s.Push(delta.Update{Kind: delta.AddEdge, U: 0, V: 1, W: 1}); err != ErrClosed {
+		t.Fatalf("push after close: %v, want ErrClosed", err)
+	}
+	if err := s.Drain(); err != ErrClosed {
+		t.Fatalf("drain after close: %v, want ErrClosed", err)
+	}
+	// Second close is a no-op.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotConsistencyUnderConcurrentPushQuery(t *testing.T) {
+	g := testGraph(7)
+	sys := ingress.New(g, algo.NewSSSP(0), engine.Options{Workers: 2})
+	published := sync.Map{} // seq -> states hash
+	s := New(g, sys, Config{
+		MaxBatch: 20, MaxDelay: time.Millisecond,
+		OnBatch: func(r BatchResult) { published.Store(r.Seq, hashStates(r.Snap.States)) },
+	})
+	published.Store(uint64(0), hashStates(s.Query().States))
+
+	type obs struct {
+		seq  uint64
+		hash uint64
+	}
+	const readers = 4
+	observed := make([][]obs, readers)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := s.Query()
+				if snap.Seq < last {
+					t.Errorf("reader %d: snapshot seq went backwards (%d after %d)", i, snap.Seq, last)
+					return
+				}
+				last = snap.Seq
+				observed[i] = append(observed[i], obs{snap.Seq, hashStates(snap.States)})
+			}
+		}(i)
+	}
+
+	for _, u := range updateSeq(g, 2000, 8) {
+		if err := s.Push(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	checked := 0
+	for i, seen := range observed {
+		for _, o := range seen {
+			want, ok := published.Load(o.seq)
+			if !ok {
+				t.Fatalf("reader %d observed unpublished snapshot seq %d", i, o.seq)
+			}
+			if want.(uint64) != o.hash {
+				t.Fatalf("reader %d: snapshot %d content differs from published state (torn read)", i, o.seq)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("readers made no observations")
+	}
+}
+
+func TestStreamedEqualsOneShot(t *testing.T) {
+	g := testGraph(9)
+	pristine := g.Clone()
+	seq := updateSeq(g, 1500, 10)
+
+	sys := ingress.New(g, algo.NewSSSP(0), engine.Options{Workers: 2})
+	s := New(g, sys, Config{MaxBatch: 97, MaxDelay: -1}) // odd size: uneven boundaries
+	for _, u := range seq {
+		if err := s.Push(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	streamed := s.Query().States
+
+	// One-shot: same sequence as a single batch through a fresh engine.
+	oneShot := ingress.New(pristine, algo.NewSSSP(0), engine.Options{Workers: 2})
+	applied := delta.Apply(pristine, delta.Batch(seq))
+	oneShot.Update(applied)
+
+	n := g.Cap()
+	if !algo.StatesClose(streamed[:n], oneShot.States()[:n], 1e-9) {
+		t.Fatal("streamed states differ from one-shot ApplyBatch+Update")
+	}
+	// And both must match a from-scratch restart on the final graph.
+	restart := engine.RunBatch(g, algo.NewSSSP(0), engine.Options{Workers: 2}).X
+	if !algo.StatesClose(streamed[:n], restart[:n], 1e-9) {
+		t.Fatal("streamed states differ from restart baseline")
+	}
+}
+
+func TestBackpressureDrop(t *testing.T) {
+	g := graph.New(1000)
+	stub := &stubSys{release: make(chan struct{}), x: make([]float64, 1000)}
+	s := New(g, stub, Config{MaxBatch: 1, MaxDelay: -1, QueueCap: 2, Policy: Drop})
+	var dropped int
+	for i := 0; i < 10; i++ {
+		u := delta.Update{Kind: delta.AddEdge, U: graph.VertexID(i), V: graph.VertexID(i + 1), W: 1}
+		if err := s.Push(u); err == ErrQueueFull {
+			dropped++
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no pushes dropped despite blocked worker and QueueCap=2")
+	}
+	close(stub.release)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Dropped != int64(dropped) {
+		t.Fatalf("dropped counter %d, want %d", m.Dropped, dropped)
+	}
+	if m.Applied != m.Accepted {
+		t.Fatalf("applied %d != accepted %d after close", m.Applied, m.Accepted)
+	}
+}
+
+func TestBackpressureBlock(t *testing.T) {
+	g := graph.New(1000)
+	stub := &stubSys{release: make(chan struct{}), x: make([]float64, 1000)}
+	s := New(g, stub, Config{MaxBatch: 1, MaxDelay: -1, QueueCap: 1, Policy: Block})
+	// First pushes: one taken by the worker (now blocked in Update), one
+	// parked in the queue.
+	for i := 0; i < 2; i++ {
+		u := delta.Update{Kind: delta.AddEdge, U: graph.VertexID(i), V: graph.VertexID(i + 1), W: 1}
+		if err := s.Push(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocked := make(chan error, 1)
+	go func() {
+		blocked <- s.Push(delta.Update{Kind: delta.AddEdge, U: 5, V: 6, W: 1})
+	}()
+	select {
+	case err := <-blocked:
+		t.Fatalf("push returned (%v) while the queue was full; Block must wait", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(stub.release)
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked push never completed after the worker resumed")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m := s.Metrics(); m.Applied != 3 {
+		t.Fatalf("applied %d updates, want 3", m.Applied)
+	}
+}
+
+func TestMetricsRollup(t *testing.T) {
+	g := testGraph(11)
+	sys := ingress.New(g, algo.NewSSSP(0), engine.Options{Workers: 2})
+	s := New(g, sys, Config{MaxBatch: 50, MaxDelay: -1})
+	for _, u := range updateSeq(g, 500, 12) {
+		if err := s.Push(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Batches != 10 {
+		t.Fatalf("batches %d, want 10", m.Batches)
+	}
+	if m.Throughput <= 0 {
+		t.Fatalf("throughput %v, want > 0", m.Throughput)
+	}
+	if m.MeanBatchLatency <= 0 {
+		t.Fatalf("latency %v, want > 0", m.MeanBatchLatency)
+	}
+	if m.Engine.Duration <= 0 {
+		t.Fatal("aggregated engine stats empty")
+	}
+}

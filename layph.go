@@ -18,7 +18,10 @@
 //   - Layph itself (NewLayph) and the five baseline incremental engines the
 //     paper compares against (NewIngress, NewKickStarter, NewRisGraph,
 //     NewGraphBolt, NewDZiG), all behind the System interface,
-//   - update-stream helpers (NewBatchGenerator, ApplyBatch).
+//   - update-stream helpers (NewBatchGenerator, ApplyBatch),
+//   - a continuous streaming pipeline (NewStream) that micro-batches a
+//     live feed of unit updates, drives any System incrementally, and
+//     serves consistent read snapshots between batches.
 //
 // Quick start:
 //
@@ -49,6 +52,7 @@ import (
 	"layph/internal/ingress"
 	"layph/internal/kickstarter"
 	"layph/internal/risgraph"
+	"layph/internal/stream"
 )
 
 // Graph is the mutable directed weighted graph all engines operate on.
@@ -186,3 +190,52 @@ func UndoBatch(g *Graph, a *Applied) { delta.Undo(g, a) }
 // entries must match exactly); useful for validating incremental results
 // against Run.
 func StatesClose(a, b []float64, atol float64) bool { return algo.StatesClose(a, b, atol) }
+
+// Stream is an ordered micro-batching ingestion pipeline feeding one
+// incremental engine: Push unit updates from any goroutine, Query
+// consistent snapshots between micro-batches, Drain/Close to flush.
+type Stream = stream.Stream
+
+// StreamConfig tunes micro-batching, backpressure and metrics of a Stream
+// (zero value = defaults: 1024-update batches, 50ms window, blocking
+// backpressure).
+type StreamConfig = stream.Config
+
+// StreamSnapshot is an immutable consistent view of the streamed state.
+type StreamSnapshot = stream.Snapshot
+
+// StreamMetrics summarizes stream counters and rolling rates.
+type StreamMetrics = stream.Metrics
+
+// Backpressure policies for StreamConfig.Policy.
+const (
+	// BlockWhenFull makes Stream.Push wait for queue space (lossless).
+	BlockWhenFull = stream.Block
+	// DropWhenFull makes Stream.Push fail fast with ErrStreamQueueFull.
+	DropWhenFull = stream.Drop
+)
+
+// Streaming sentinel errors (compare with errors.Is).
+var (
+	// ErrStreamClosed reports a Push/Drain on a closed Stream.
+	ErrStreamClosed = stream.ErrClosed
+	// ErrStreamQueueFull reports an update dropped under DropWhenFull.
+	ErrStreamQueueFull = stream.ErrQueueFull
+)
+
+// NewStream starts a streaming pipeline over g driving sys (construct sys
+// on g first, e.g. with NewLayph). After NewStream, mutate the graph only
+// by pushing updates into the stream.
+func NewStream(g *Graph, sys System, cfg StreamConfig) *Stream {
+	return stream.New(g, sys, cfg)
+}
+
+// ParseUpdate parses one line of the text wire format used by `layph
+// serve` ("a u v [w]", "d u v", "av u", "dv u").
+func ParseUpdate(line string) (Update, error) { return delta.ParseUpdate(line) }
+
+// ReadUpdates parses a whole text update stream into a Batch.
+func ReadUpdates(r io.Reader) (Batch, error) { return delta.ReadUpdates(r) }
+
+// WriteUpdates renders a batch in the text wire format.
+func WriteUpdates(w io.Writer, b Batch) error { return delta.WriteUpdates(w, b) }
