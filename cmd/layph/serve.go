@@ -98,8 +98,9 @@ func serveMain(args []string) {
 
 	fmt.Printf("done: pushed=%d dropped=%d applied=%d batches=%d\n",
 		pushed, dropped, m.Applied, m.Batches)
-	fmt.Printf("engine totals: activations=%d rounds=%d resets=%d update-time=%v\n",
-		m.Engine.Activations, m.Engine.Rounds, m.Engine.Resets, m.Engine.Duration.Round(time.Microsecond))
+	fmt.Printf("engine totals: activations=%d rounds=%d resets=%d update-time=%v subgraph-tasks=%d pool-util=%.0f%%\n",
+		m.Engine.Activations, m.Engine.Rounds, m.Engine.Resets, m.Engine.Duration.Round(time.Microsecond),
+		m.Engine.SubgraphsParallel, 100*m.Engine.PoolUtilization)
 	fmt.Printf("final snapshot: seq=%d updates=%d %s\n", snap.Seq, snap.Updates, sampleStates(snap.States, *top))
 }
 
@@ -162,9 +163,10 @@ func feed(s *stream.Stream, input string, randN int, seed int64, g *graph.Graph,
 func printReport(s *stream.Stream, top int) {
 	snap := s.Query()
 	m := s.Metrics()
-	fmt.Printf("t=%s seq=%-6d applied=%-9d rate=%.0f/s batch-lat=%v %s\n",
+	fmt.Printf("t=%s seq=%-6d applied=%-9d rate=%.0f/s batch-lat=%v subs-par=%d pool-util=%.0f%% %s\n",
 		time.Now().Format("15:04:05"), snap.Seq, m.Applied, m.Throughput,
-		m.MeanBatchLatency.Round(time.Microsecond), sampleStates(snap.States, top))
+		m.MeanBatchLatency.Round(time.Microsecond), m.Engine.SubgraphsParallel,
+		100*m.Engine.PoolUtilization, sampleStates(snap.States, top))
 }
 
 func sampleStates(x []float64, top int) string {

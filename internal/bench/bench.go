@@ -130,6 +130,9 @@ type SystemResult struct {
 	Layered *core.Layph
 	// LastStats is the stats record of the final batch.
 	LastStats inc.Stats
+	// Stats aggregates every batch's record (durations and counters sum;
+	// PoolUtilization is the duration-weighted mean).
+	Stats inc.Stats
 }
 
 // restartSystem wraps batch recomputation behind the System interface.
@@ -192,6 +195,7 @@ func RunSystem(w *Workload, kind SystemKind, mk AlgoMaker, threads int) SystemRe
 		res.PerBatchSeconds = append(res.PerBatchSeconds, st.Duration.Seconds())
 		res.Activations += st.Activations
 		res.LastStats = st
+		res.Stats.Add(st)
 	}
 	return res
 }

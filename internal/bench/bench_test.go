@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -129,6 +132,7 @@ func TestExperimentsRunQuickly(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments skipped in -short")
 	}
+	t.Chdir(t.TempDir()) // the parallel experiment writes BENCH_parallel.json
 	o := tiny()
 	for _, e := range All() {
 		e := e
@@ -139,6 +143,45 @@ func TestExperimentsRunQuickly(t *testing.T) {
 				t.Fatalf("%s produced no output", e.ID)
 			}
 		})
+	}
+}
+
+func TestParallelReportJSON(t *testing.T) {
+	rep := RunParallel(tiny())
+	if len(rep.Points) == 0 {
+		t.Fatal("no measurement points")
+	}
+	if rep.Points[0].Threads != 1 {
+		t.Fatalf("first point threads=%d, want 1 (baseline)", rep.Points[0].Threads)
+	}
+	if rep.Points[0].SpeedupVsT1 != 1 {
+		t.Fatalf("baseline speedup = %v, want 1", rep.Points[0].SpeedupVsT1)
+	}
+	for _, p := range rep.Points {
+		if p.UpdateSeconds <= 0 || p.SpeedupVsT1 <= 0 {
+			t.Fatalf("point %+v not measured", p)
+		}
+		if p.SubgraphsParallel == 0 {
+			t.Fatalf("threads=%d reported no subgraph tasks", p.Threads)
+		}
+		if p.PoolUtilization < 0 || p.PoolUtilization > 1 {
+			t.Fatalf("threads=%d pool utilization out of range: %v", p.Threads, p.PoolUtilization)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_parallel.json")
+	if err := WriteParallelJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ParallelReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Algo != "SSSP" || len(back.Points) != len(rep.Points) {
+		t.Fatalf("round-trip mismatch: %+v", back)
 	}
 }
 

@@ -74,6 +74,7 @@ func All() []Experiment {
 		{"fig11a", "Fig 11a: additional space cost of shortcuts", Fig11a},
 		{"fig11b", "Fig 11b: offline preprocessing amortization, SSSP on UK", Fig11b},
 		{"stream", "Streaming: sustained micro-batched ingestion throughput, SSSP on UK", StreamingExperiment},
+		{"parallel", "Parallel: Layph incremental-update speedup vs threads, SSSP on the community graph", ParallelExperiment},
 	}
 }
 

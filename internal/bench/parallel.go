@@ -1,0 +1,147 @@
+package bench
+
+// Parallel scaling scenario: the same incremental workload replayed
+// through Layph at increasing thread counts, measuring the wall-clock
+// win of the shared-worker-pool lower layer (plus the Lup iteration's
+// workers). Results are emitted both as a table and as a
+// BENCH_parallel.json speedup-vs-threads record, so later PRs have a
+// perf trajectory to regress against.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+
+	"layph/internal/gen"
+)
+
+// ParallelJSONPath is where ParallelExperiment drops its machine-readable
+// record (relative to the working directory).
+const ParallelJSONPath = "BENCH_parallel.json"
+
+// ParallelPoint is one thread-count measurement.
+type ParallelPoint struct {
+	Threads           int     `json:"threads"`
+	UpdateSeconds     float64 `json:"update_seconds"`
+	SpeedupVsT1       float64 `json:"speedup_vs_t1"`
+	SubgraphsParallel int64   `json:"subgraphs_parallel"`
+	PoolUtilization   float64 `json:"pool_utilization"`
+	Activations       int64   `json:"activations"`
+}
+
+// ParallelReport is the BENCH_parallel.json payload.
+type ParallelReport struct {
+	Graph      string          `json:"graph"`
+	Algo       string          `json:"algo"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Vertices   int             `json:"vertices"`
+	Batches    int             `json:"batches"`
+	BatchSize  int             `json:"batch_size"`
+	Points     []ParallelPoint `json:"points"`
+}
+
+// CommunityWorkload builds the synthetic community graph (the structure
+// Layph's lower layer exploits) with pre-generated edge batches.
+func CommunityWorkload(vertices, nBatches, batchSize int, seed int64) *Workload {
+	g, _ := gen.CommunityGraph(gen.CommunityConfig{
+		Vertices:      vertices,
+		MeanCommunity: 40,
+		IntraDegree:   8,
+		InterDegree:   0.3,
+		HubFraction:   0.01,
+		HubDegree:     16,
+		Weighted:      true,
+		Seed:          seed,
+	})
+	w := &Workload{Name: fmt.Sprintf("community-%d", vertices), Graph: g}
+	w.Batches = makeBatches(g, nBatches, batchSize, true, seed)
+	return w
+}
+
+// parallelThreadCounts returns the measured thread counts: 1, 2, 4, 8
+// plus GOMAXPROCS, deduplicated and ascending, so the Threads=1 baseline
+// and the hardware's own width are always covered.
+func parallelThreadCounts() []int {
+	set := map[int]struct{}{1: {}, 2: {}, 4: {}, 8: {}, runtime.GOMAXPROCS(0): {}}
+	out := make([]int, 0, len(set))
+	for th := range set {
+		out = append(out, th)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RunParallel measures Layph's incremental-update time on the community
+// workload (SSSP) across thread counts. Scale sizes the graph: the
+// default 0.25 gives the 10k-vertex community graph of the acceptance
+// run.
+func RunParallel(o Options) ParallelReport {
+	o = o.normalize()
+	vertices := int(40000 * o.Scale)
+	if vertices < 200 {
+		vertices = 200
+	}
+	wl := CommunityWorkload(vertices, o.Batches, o.BatchSize, o.Seed)
+	rep := ParallelReport{
+		Graph:      wl.Name,
+		Algo:       "SSSP",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Vertices:   vertices,
+		Batches:    o.Batches,
+		BatchSize:  o.BatchSize,
+	}
+	mk := Algorithms()["SSSP"]
+	var t1 float64
+	for _, th := range parallelThreadCounts() {
+		r := RunSystem(wl, Layph, mk, th)
+		p := ParallelPoint{
+			Threads:           th,
+			UpdateSeconds:     r.UpdateSeconds,
+			SubgraphsParallel: r.Stats.SubgraphsParallel,
+			PoolUtilization:   r.Stats.PoolUtilization,
+			Activations:       r.Activations,
+		}
+		if th == 1 {
+			t1 = r.UpdateSeconds
+		}
+		if t1 > 0 && r.UpdateSeconds > 0 {
+			p.SpeedupVsT1 = t1 / r.UpdateSeconds
+		}
+		rep.Points = append(rep.Points, p)
+	}
+	return rep
+}
+
+// WriteParallelJSON writes the report to path (pretty-printed, trailing
+// newline) for regression tracking across PRs.
+func WriteParallelJSON(path string, rep ParallelReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ParallelExperiment prints the speedup-vs-threads table and drops
+// BENCH_parallel.json next to the invocation.
+func ParallelExperiment(w io.Writer, o Options) {
+	rep := RunParallel(o)
+	fmt.Fprintf(w, "Parallel lower layer (SSSP on %s, %d batches x %d updates, GOMAXPROCS=%d)\n",
+		rep.Graph, rep.Batches, rep.BatchSize, rep.GOMAXPROCS)
+	t := NewTable("threads", "update-s", "speedup-vs-t1", "subgraph-tasks", "pool-util")
+	for _, p := range rep.Points {
+		t.Row(p.Threads, p.UpdateSeconds, p.SpeedupVsT1, p.SubgraphsParallel, p.PoolUtilization)
+	}
+	t.Print(w)
+	if err := WriteParallelJSON(ParallelJSONPath, rep); err != nil {
+		fmt.Fprintf(w, "(could not write %s: %v)\n", ParallelJSONPath, err)
+	} else {
+		fmt.Fprintf(w, "(wrote %s)\n", ParallelJSONPath)
+	}
+	if rep.GOMAXPROCS < 4 {
+		fmt.Fprintln(w, "(note: fewer than 4 cores available; speedup-vs-threads is only meaningful at GOMAXPROCS >= 4)")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"layph/internal/algo"
@@ -8,6 +9,7 @@ import (
 	"layph/internal/engine"
 	"layph/internal/graph"
 	"layph/internal/metrics"
+	"layph/internal/pool"
 )
 
 // New builds the layered graph for g under algorithm a (offline phase) and
@@ -24,6 +26,7 @@ func New(g *graph.Graph, a algo.Algorithm, opt Options) *Layph {
 		exitProxy:  make(map[proxyKey]graph.VertexID),
 		LastPhases: metrics.NewPhases(),
 	}
+	l.pool = pool.New(opt.Workers)
 	l.tol = opt.Tolerance
 	if l.tol == 0 {
 		l.tol = a.Tolerance()
@@ -94,17 +97,16 @@ func New(g *graph.Graph, a algo.Algorithm, opt Options) *Layph {
 		}
 	}
 
-	// Roles, member lists, local frames, shortcuts.
+	// Roles, member lists, local frames, shortcuts. Subgraphs are
+	// disjoint and their construction only reads the (now frozen) flat
+	// adjacency and role vectors, so the per-subgraph pass fans out over
+	// the worker pool.
 	all := make([]graph.VertexID, fn)
 	for v := range all {
 		all[v] = graph.VertexID(v)
 	}
 	l.recomputeRoles(all)
-	for _, s := range l.subs {
-		l.classifyMembers(s)
-		l.buildLocalFrame(s)
-		l.OfflineStats.ShortcutActivations += l.deduceShortcuts(s)
-	}
+	l.OfflineStats.ShortcutActivations += l.buildSubgraphs(subgraphList(l.subs))
 	l.OfflineStats.ShortcutCount = l.ShortcutCount()
 	l.OfflineStats.DenseSubgraphs = len(l.subs)
 	l.OfflineStats.Proxies = fn - n
@@ -135,6 +137,57 @@ func New(g *graph.Graph, a algo.Algorithm, opt Options) *Layph {
 	l.parent = res.Parent
 	l.OfflineStats.InitialSeconds = time.Since(initStart).Seconds()
 	return l
+}
+
+// subgraphList collects a subgraph map's values in ascending ID order, so
+// parallel fan-outs process (and merge) a deterministic task sequence
+// regardless of map iteration order.
+func subgraphList(m map[int32]*Subgraph) []*Subgraph {
+	out := make([]*Subgraph, 0, len(m))
+	for _, s := range m {
+		out = append(out, s)
+	}
+	sortSubgraphs(out)
+	return out
+}
+
+func sortSubgraphs(subs []*Subgraph) {
+	sort.Slice(subs, func(a, b int) bool { return subs[a].ID < subs[b].ID })
+}
+
+// buildSubgraphs (re)constructs each listed subgraph — member
+// classification, local frame, full shortcut deduction — and returns the
+// total F applications spent. The fan-out axis adapts to the work shape:
+// with several subgraphs, one pool task per subgraph (entries within each
+// deduced sequentially); with a single subgraph, the per-entry deductions
+// fan out instead. One level of fan-out either way keeps the pool's
+// busy-time accounting exact (no task ever blocks inside another task);
+// the pool's inline fallback would keep even accidental nesting
+// deadlock-free. Tasks write only their own subgraph and read shared
+// structure that is frozen for the duration of the fan-out.
+func (l *Layph) buildSubgraphs(subs []*Subgraph) int64 {
+	if len(subs) == 1 {
+		s := subs[0]
+		l.classifyMembers(s)
+		l.buildLocalFrame(s)
+		return l.deduceShortcutsPar(s, true)
+	}
+	acts := make([]int64, len(subs))
+	grp := l.pool.Group()
+	for i, s := range subs {
+		i, s := i, s
+		grp.Go(func() {
+			l.classifyMembers(s)
+			l.buildLocalFrame(s)
+			acts[i] = l.deduceShortcutsPar(s, false)
+		})
+	}
+	grp.Wait()
+	var total int64
+	for _, a := range acts {
+		total += a
+	}
+	return total
 }
 
 // classifyMembers fills the subgraph's member/role lists from the current

@@ -8,6 +8,15 @@ import (
 
 // CheckInvariants validates the layered structure; tests call it after
 // construction and after every update. It returns the first violation.
+//
+// Concurrency contract: the check scans the whole structure (states,
+// adjacency, subgraph maps) without locks, so it must only run at a merge
+// barrier — when no pool task is in flight. It must not be called from
+// inside a concurrent subgraph task: a sibling task's in-progress state
+// writes would be reported as (phantom) violations. Every parallel phase
+// of Update joins all of its tasks before returning, so the end of Update
+// is always a safe point; Options.SelfCheck runs the check there
+// automatically and records the result in Layph.LastCheck.
 func (l *Layph) CheckInvariants() error {
 	n := l.flatN()
 	if len(l.flatIn) != n || len(l.upOut) != n || len(l.upIn) != n ||

@@ -9,6 +9,7 @@ import (
 	"layph/internal/graph"
 	"layph/internal/inc"
 	"layph/internal/metrics"
+	"layph/internal/pool"
 )
 
 // Update incrementally adjusts the memoized result to the applied batch
@@ -19,14 +20,23 @@ import (
 //	upload         — Section V-A  (local fixpoints in affected subgraphs)
 //	lup-iteration  — Section V-B  (global iteration on the skeleton)
 //	assignment     — Section V-C  (entry→internal shortcut application)
+//
+// Independent per-subgraph work inside the phases (shortcut maintenance,
+// upload fixpoints, assignment replays) fans out over the shared worker
+// pool; every phase joins all of its tasks before the next one starts, so
+// Update as a whole still presents the sequential phase order. The number
+// of subgraph tasks dispatched and the pool's utilization over the update
+// are reported in the returned Stats.
 func (l *Layph) Update(applied *delta.Applied) inc.Stats {
 	start := time.Now()
+	poolBefore := l.pool.Stats()
 	ph := metrics.NewPhases()
 	var st inc.Stats
 
 	var d *layeredDiff
 	ph.Time("layered-update", func() { d = l.layeredUpdate(applied) })
 	st.Activations += d.shortcutActivations
+	st.SubgraphsParallel += d.parallelSubs
 	l.LastActs = map[string]int64{"layered-update": d.shortcutActivations}
 	before := st.Activations
 
@@ -38,6 +48,12 @@ func (l *Layph) Update(applied *delta.Applied) inc.Stats {
 	l.LastActs["online"] = st.Activations - before
 	l.LastPhases = ph
 	st.Duration = time.Since(start)
+	st.PoolUtilization = pool.Utilization(poolBefore, l.pool.Stats(), st.Duration, l.pool.Size())
+	if l.opt.SelfCheck {
+		// All pool tasks are joined by now (each phase ends with a merge
+		// barrier), so the full-structure invariant scan is race-free.
+		l.LastCheck = l.CheckInvariants()
+	}
 	return st
 }
 
@@ -95,9 +111,21 @@ func (l *Layph) updateSum(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 		}
 		// Local absorption: one fixpoint per affected subgraph consumes the
 		// revision messages addressed to its members and turns them into
-		// boundary deltas for the skeleton.
-		for _, s := range d.affectedSubs {
-			l.uploadSumSubgraph(s, pending, fromLocal, st)
+		// boundary deltas for the skeleton. Subgraphs own disjoint member
+		// sets and each task reads/writes pending, fromLocal and l.x only
+		// at its own members, so the fixpoints run as independent pool
+		// tasks; results are identical to sequential execution.
+		subs := subgraphList(d.affectedSubs)
+		st.SubgraphsParallel += int64(len(subs))
+		acts := make([]int64, len(subs))
+		grp := l.pool.Group()
+		for i, s := range subs {
+			i, s := i, s
+			grp.Go(func() { acts[i] = l.uploadSumSubgraph(s, pending, fromLocal) })
+		}
+		grp.Wait()
+		for _, a := range acts {
+			st.Activations += a
 		}
 	})
 
@@ -137,17 +165,33 @@ func (l *Layph) updateSum(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 		if debugFlatOnly {
 			return
 		}
-		for _, s := range l.subs {
-			for _, u := range s.Entries {
-				mu := l.x[u] - xPre[u]
-				if math.Abs(mu) <= l.tol {
-					continue
+		// One task per subgraph: reads entry states (boundary vertices, not
+		// written here) and writes only its own internal vertices via the
+		// entry→internal shortcuts — disjoint across subgraphs.
+		subs := subgraphList(l.subs)
+		st.SubgraphsParallel += int64(len(subs))
+		acts := make([]int64, len(subs))
+		grp := l.pool.Group()
+		for i, s := range subs {
+			i, s := i, s
+			grp.Go(func() {
+				var a int64
+				for _, u := range s.Entries {
+					mu := l.x[u] - xPre[u]
+					if math.Abs(mu) <= l.tol {
+						continue
+					}
+					for _, sc := range s.ShortToInternal[u] {
+						l.x[sc.To] += mu * sc.W
+						a++
+					}
 				}
-				for _, sc := range s.ShortToInternal[u] {
-					l.x[sc.To] += mu * sc.W
-					st.Activations++
-				}
-			}
+				acts[i] = a
+			})
+		}
+		grp.Wait()
+		for _, a := range acts {
+			st.Activations += a
 		}
 	})
 
@@ -165,8 +209,11 @@ func (l *Layph) updateSum(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 // uploadSumSubgraph runs the local fixpoint of one affected subgraph,
 // consuming the pending revision messages addressed to its members. Member
 // states absorb their internal-path effects; the messages re-emerge as
-// pending deltas on boundary members for the skeleton iteration.
-func (l *Layph) uploadSumSubgraph(s *Subgraph, pending, fromLocal []float64, st *inc.Stats) {
+// pending deltas on boundary members for the skeleton iteration. Safe to
+// run concurrently with other subgraphs' uploads: it touches pending,
+// fromLocal and l.x only at this subgraph's (exclusively owned) members.
+// Returns the F applications spent.
+func (l *Layph) uploadSumSubgraph(s *Subgraph, pending, fromLocal []float64) int64 {
 	lf := s.Local
 	k := lf.size()
 	x0 := make([]float64, k)
@@ -183,13 +230,12 @@ func (l *Layph) uploadSumSubgraph(s *Subgraph, pending, fromLocal []float64, st 
 		}
 	}
 	if !seeded {
-		return
+		return 0
 	}
 	res := engine.Run(&engine.Frame{Out: lf.absorbOut}, l.sr, x0, m0, engine.Options{
 		Workers:   1,
 		Tolerance: l.tol,
 	})
-	st.Activations += res.Activations
 	for i, v := range lf.ids {
 		dl := res.X[i] - l.x[v]
 		l.x[v] = res.X[i]
@@ -199,6 +245,7 @@ func (l *Layph) uploadSumSubgraph(s *Subgraph, pending, fromLocal []float64, st 
 			fromLocal[v] += dl
 		}
 	}
+	return res.Activations
 }
 
 // updateMin is the idempotent (memoization-path) online path: dependency-
@@ -302,17 +349,58 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 			}
 		}
 
-		for _, s := range active {
-			changed := l.uploadMinSubgraph(s, tagged, addedOffer, st)
-			localChanged = append(localChanged, changed...)
-			for _, v := range changed {
+		// Partition the candidates: an offer targeting a member of an
+		// active subgraph is consumed by that subgraph's local task (the
+		// partition replaces the shared-map deletes of the sequential
+		// scheme, so concurrent tasks never touch a common map); the rest
+		// target skeleton vertices and are handled in the skeleton phase.
+		offersBySub := make(map[int32]map[graph.VertexID]float64)
+		for v, offer := range addedOffer {
+			if c := l.subOf[v]; c != NoSubgraph {
+				if _, isActive := active[c]; isActive {
+					m := offersBySub[c]
+					if m == nil {
+						m = make(map[graph.VertexID]float64)
+						offersBySub[c] = m
+					}
+					m[v] = offer
+					continue
+				}
+			}
+			leftoverOffers[v] = offer
+		}
+
+		// Snapshot of the post-reset states: concurrent subgraph tasks
+		// read offer sources from it, so cross-subgraph boundary reads
+		// stay stable (and scheduling-independent) while other tasks
+		// rewrite their own members. Stale cross-subgraph values are safe
+		// under the monotone min semiring: a boundary member whose value
+		// improves during upload lands in localChanged and is
+		// re-propagated by the skeleton iteration and assignment phases.
+		xSnap := append([]float64(nil), l.x...)
+		subs := subgraphList(active)
+		st.SubgraphsParallel += int64(len(subs))
+		type upRes struct {
+			changed []graph.VertexID
+			acts    int64
+		}
+		results := make([]upRes, len(subs))
+		grp := l.pool.Group()
+		for i, s := range subs {
+			i, s := i, s
+			grp.Go(func() {
+				ch, a := l.uploadMinSubgraph(s, tagged, xSnap, offersBySub[s.ID])
+				results[i] = upRes{changed: ch, acts: a}
+			})
+		}
+		grp.Wait()
+		for _, r := range results {
+			st.Activations += r.acts
+			localChanged = append(localChanged, r.changed...)
+			for _, v := range r.changed {
 				repair[v] = struct{}{}
 			}
 		}
-
-		// Leftover candidates targeting skeleton vertices are handled in the
-		// skeleton phase.
-		leftoverOffers = addedOffer
 	})
 	mark = actsMark("upload", mark)
 
@@ -403,8 +491,15 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 				changedUp[v] = struct{}{}
 			}
 		}
-		for c, s := range l.subs {
-			trigger := resetsBySub[c]
+		// Replay entry→internal shortcuts of the triggered subgraphs, one
+		// pool task each: a task reads its own entries' states (boundary
+		// vertices, never written here) and writes only its own internal
+		// vertices — disjoint across subgraphs. The min-replay outcome is
+		// order-independent, so the parallel result equals the sequential
+		// one.
+		var triggered []*Subgraph
+		for _, s := range subgraphList(l.subs) {
+			trigger := resetsBySub[s.ID]
 			if !trigger {
 				for _, u := range s.Entries {
 					if _, ok := changedUp[u]; ok {
@@ -413,21 +508,42 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 					}
 				}
 			}
-			if !trigger {
-				continue
+			if trigger {
+				triggered = append(triggered, s)
 			}
-			for _, u := range s.Entries {
-				if l.x[u] == zero {
-					continue
-				}
-				for _, sc := range s.ShortToInternal[u] {
-					cand := l.sr.Times(l.x[u], sc.W)
-					st.Activations++
-					if l.sr.Plus(l.x[sc.To], cand) != l.x[sc.To] {
-						l.x[sc.To] = cand
-						repair[sc.To] = struct{}{}
+		}
+		st.SubgraphsParallel += int64(len(triggered))
+		type asgRes struct {
+			repaired []graph.VertexID
+			acts     int64
+		}
+		results := make([]asgRes, len(triggered))
+		grp := l.pool.Group()
+		for i, s := range triggered {
+			i, s := i, s
+			grp.Go(func() {
+				var r asgRes
+				for _, u := range s.Entries {
+					if l.x[u] == zero {
+						continue
+					}
+					for _, sc := range s.ShortToInternal[u] {
+						cand := l.sr.Times(l.x[u], sc.W)
+						r.acts++
+						if l.sr.Plus(l.x[sc.To], cand) != l.x[sc.To] {
+							l.x[sc.To] = cand
+							r.repaired = append(r.repaired, sc.To)
+						}
 					}
 				}
+				results[i] = r
+			})
+		}
+		grp.Wait()
+		for _, r := range results {
+			st.Activations += r.acts
+			for _, v := range r.repaired {
+				repair[v] = struct{}{}
 			}
 		}
 	})
@@ -435,16 +551,30 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 	actsMark("assignment", mark)
 
 	// Dependency-parent repair for every vertex whose state may have moved.
+	// States are final by now and each repair writes only parent[v], so the
+	// scan fans out over the pool in chunks (per-vertex tasks would drown
+	// in scheduling overhead).
+	repList := make([]graph.VertexID, 0, len(repair))
 	for v := range repair {
-		l.repairParent(v)
+		repList = append(repList, v)
 	}
+	l.pool.ForEachChunk(len(repList), 512, func(lo, hi int) {
+		for _, v := range repList[lo:hi] {
+			l.repairParent(v)
+		}
+	})
 }
 
 // uploadMinSubgraph recomputes one subgraph locally: offers for tagged
-// members from valid flat in-neighbors (plus root messages and added-edge
-// candidates), then a local fixpoint. Returns the members whose value
-// changed.
-func (l *Layph) uploadMinSubgraph(s *Subgraph, tagged []bool, addedOffer map[graph.VertexID]float64, st *inc.Stats) []graph.VertexID {
+// members from valid flat in-neighbors (plus root messages and the
+// subgraph's share of added-edge candidates), then a local fixpoint.
+// Returns the members whose value changed and the F applications spent.
+//
+// Safe to run concurrently with other subgraphs' uploads: offer sources
+// are read from xRead, the post-reset snapshot (identical to the live
+// states for this subgraph's own members, which no other task writes),
+// and l.x is written only at this subgraph's members.
+func (l *Layph) uploadMinSubgraph(s *Subgraph, tagged []bool, xRead []float64, offers map[graph.VertexID]float64) (changed []graph.VertexID, acts int64) {
 	zero := l.sr.Zero()
 	lf := s.Local
 	k := lf.size()
@@ -452,7 +582,7 @@ func (l *Layph) uploadMinSubgraph(s *Subgraph, tagged []bool, addedOffer map[gra
 	m0 := make([]float64, k)
 	var act []graph.VertexID
 	for i, v := range lf.ids {
-		x0[i] = l.x[v]
+		x0[i] = xRead[v]
 		m0[i] = zero
 		if tagged[v] && l.flatAlive(v) {
 			if int(v) < l.origCap {
@@ -462,26 +592,25 @@ func (l *Layph) uploadMinSubgraph(s *Subgraph, tagged []bool, addedOffer map[gra
 			}
 			for _, e := range l.flatIn[v] {
 				src := e.To
-				if tagged[src] || l.x[src] == zero {
+				if tagged[src] || xRead[src] == zero {
 					continue
 				}
-				offer := l.sr.Times(l.x[src], e.W)
-				st.Activations++
+				offer := l.sr.Times(xRead[src], e.W)
+				acts++
 				if offer != zero {
 					m0[i] = l.sr.Plus(m0[i], offer)
 				}
 			}
 		}
-		if offer, ok := addedOffer[v]; ok {
+		if offer, ok := offers[v]; ok {
 			m0[i] = l.sr.Plus(m0[i], offer)
-			delete(addedOffer, v)
 		}
 		if m0[i] != zero && l.sr.Plus(x0[i], m0[i]) != x0[i] {
 			act = append(act, graph.VertexID(i))
 		}
 	}
 	if len(act) == 0 {
-		return nil
+		return nil, acts
 	}
 	res := engine.Run(&engine.Frame{Out: lf.absorbOut}, l.sr, x0, m0, engine.Options{
 		Workers:       1,
@@ -489,14 +618,13 @@ func (l *Layph) uploadMinSubgraph(s *Subgraph, tagged []bool, addedOffer map[gra
 		InitialActive: act,
 		TrackChanged:  true,
 	})
-	st.Activations += res.Activations
-	var changed []graph.VertexID
+	acts += res.Activations
 	for _, ci := range res.Changed {
 		v := lf.ids[ci]
 		l.x[v] = res.X[ci]
 		changed = append(changed, v)
 	}
-	return changed
+	return changed, acts
 }
 
 // repairParent re-derives v's dependency parent by scanning its flat

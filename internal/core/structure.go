@@ -326,9 +326,18 @@ func (l *Layph) buildLocalFrame(s *Subgraph) {
 
 // deduceShortcuts runs Equation (6) for every entry vertex of the subgraph:
 // inject the semiring unit at the entry, run the local fixpoint over the
-// compact frame, and read off the aggregates as shortcut weights. Returns
+// compact frame, and read off the aggregates as shortcut weights, fanning
+// the independent per-entry deductions out over the worker pool. Returns
 // the F applications spent.
 func (l *Layph) deduceShortcuts(s *Subgraph) int64 {
+	return l.deduceShortcutsPar(s, true)
+}
+
+// deduceShortcutsPar is deduceShortcuts with an explicit fan-out switch:
+// callers already running one task per subgraph pass parallelEntries=false
+// so entry deductions stay sequential inside the task — one level of
+// fan-out keeps pool busy-time accounting exact (see buildSubgraphs).
+func (l *Layph) deduceShortcutsPar(s *Subgraph, parallelEntries bool) int64 {
 	s.ShortToBoundary = make(map[graph.VertexID][]engine.WEdge, len(s.Entries))
 	s.ShortToInternal = make(map[graph.VertexID][]engine.WEdge, len(s.Entries))
 	lf := s.Local
@@ -347,31 +356,63 @@ func (l *Layph) deduceShortcuts(s *Subgraph) int64 {
 	// absorbing frame. Through-entry and revisiting paths are then covered
 	// exactly once by shortcut composition on Lup (including the self-
 	// shortcut for sum-semiring cycles back to the entry).
+	//
+	// Each entry's fixpoint only reads the frozen local frame, so the
+	// per-entry deductions can fan out over the worker pool; the shared
+	// shortcut maps are filled sequentially after the join, in entry
+	// order, keeping results deterministic.
 	frame := &engine.Frame{Out: lf.absorbOut}
-	for _, u := range s.Entries {
+	type entryRes struct {
+		vec  []float64
+		par  []graph.VertexID
+		acts int64
+	}
+	deduceEntry := func(u graph.VertexID) entryRes {
 		cu := lf.idx[u]
 		x0 := make([]float64, k)
 		m0 := make([]float64, k)
-		for i := range x0 {
-			x0[i] = zero
-			m0[i] = zero
+		for j := range x0 {
+			x0[j] = zero
+			m0[j] = zero
 		}
+		var a int64
 		for _, e := range lf.out[cu] {
 			m0[e.To] = l.sr.Plus(m0[e.To], l.sr.Times(l.sr.One(), e.W))
-			acts++
+			a++
 		}
 		res := engine.Run(frame, l.sr, x0, m0, engine.Options{
 			Workers:   1,
 			Tolerance: l.scTol(),
 		})
-		acts += res.Activations
-		s.scVec[u] = res.X
+		a += res.Activations
+		er := entryRes{vec: res.X, acts: a}
 		if s.scParent != nil {
 			par := make([]graph.VertexID, k)
 			for ci := range par {
 				par[ci] = l.scWitness(s, u, res.X, graph.VertexID(ci))
 			}
-			s.scParent[u] = par
+			er.par = par
+		}
+		return er
+	}
+	results := make([]entryRes, len(s.Entries))
+	if parallelEntries {
+		grp := l.pool.Group()
+		for i, u := range s.Entries {
+			i, u := i, u
+			grp.Go(func() { results[i] = deduceEntry(u) })
+		}
+		grp.Wait()
+	} else {
+		for i, u := range s.Entries {
+			results[i] = deduceEntry(u)
+		}
+	}
+	for i, u := range s.Entries {
+		acts += results[i].acts
+		s.scVec[u] = results[i].vec
+		if s.scParent != nil {
+			s.scParent[u] = results[i].par
 		}
 		l.rebuildShortcutLists(s, u)
 	}

@@ -31,6 +31,7 @@ import (
 	"layph/internal/engine"
 	"layph/internal/graph"
 	"layph/internal/metrics"
+	"layph/internal/pool"
 )
 
 // Role classifies a flat vertex with respect to the layered structure.
@@ -167,10 +168,19 @@ type Options struct {
 	// DisableReplication turns the optimization off (Figure 8's ablation).
 	ReplicationThreshold int
 	DisableReplication   bool
-	// Workers is the parallelism of the global (Lup) iteration.
+	// Workers is the parallelism of both layers (0 = GOMAXPROCS): the
+	// worker count of the global (Lup) iteration and the size of the
+	// shared pool that runs independent lower-layer subgraph tasks
+	// (upload fixpoints, shortcut deduction, assignment replay)
+	// concurrently. Workers=1 is strictly sequential.
 	Workers int
 	// Tolerance overrides the algorithm's message-significance threshold.
 	Tolerance float64
+	// SelfCheck makes every Update run CheckInvariants once after the
+	// final merge barrier (all pool tasks joined) and record the result
+	// in LastCheck. Testing/debugging aid; costs a full structure scan
+	// per update.
+	SelfCheck bool
 }
 
 func (o Options) replication() int {
@@ -190,6 +200,9 @@ type Layph struct {
 	sr  algo.Semiring
 	opt Options
 	tol float64
+	// pool is the shared bounded worker pool (size opt.Workers) running
+	// the independent lower-layer subgraph tasks of every parallel phase.
+	pool *pool.Pool
 
 	// part holds the frozen community membership of original vertices.
 	part *community.Partition
@@ -224,6 +237,10 @@ type Layph struct {
 	OfflineStats OfflineStats
 	LastPhases   *metrics.Phases
 	LastActs     map[string]int64
+	// LastCheck is the result of the post-update invariant check when
+	// Options.SelfCheck is set (nil = structure valid after the last
+	// Update's merge barrier).
+	LastCheck error
 }
 
 // NoHost marks non-proxy vertices in proxyHost.

@@ -36,6 +36,9 @@ type layeredDiff struct {
 	rebuiltSubs map[int32]*Subgraph
 	// shortcutActivations counts F applications spent maintaining shortcuts.
 	shortcutActivations int64
+	// parallelSubs counts the subgraph tasks dispatched to the worker pool
+	// during shortcut maintenance (rebuilds + incremental updates).
+	parallelSubs int64
 }
 
 type flatEdge struct {
@@ -263,11 +266,9 @@ func (l *Layph) layeredUpdate(applied *delta.Applied) *layeredDiff {
 	}
 	l.recomputeRoles(roleList)
 
-	for _, s := range d.rebuiltSubs {
-		l.classifyMembers(s)
-		l.buildLocalFrame(s)
-		d.shortcutActivations += l.deduceShortcuts(s)
-	}
+	rebuilt := subgraphList(d.rebuiltSubs)
+	d.parallelSubs += int64(len(rebuilt))
+	d.shortcutActivations += l.buildSubgraphs(rebuilt)
 
 	// Incremental shortcut maintenance (the paper's Section IV-B weight
 	// updates): subgraphs whose internal edges changed without any
@@ -298,17 +299,41 @@ func (l *Layph) layeredUpdate(applied *delta.Applied) *layeredDiff {
 	// through proxy routing in ways the row-level diff above does not fully
 	// capture; deletions are rare in the paper's workloads (Figure 5e), so
 	// correctness is bought here at negligible average cost.
+	//
+	// Each subgraph's shortcut maintenance touches only its own frame and
+	// memoized vectors (the flat adjacency is frozen by now), so the
+	// per-subgraph work fans out over the worker pool.
 	forceFull := len(applied.RemovedVertices) > 0
-	for c, del := range intraDel {
-		s := l.subs[c]
+	intraSubs := make([]*Subgraph, 0, len(intraDel))
+	for c := range intraDel {
+		intraSubs = append(intraSubs, l.subs[c])
+	}
+	sortSubgraphs(intraSubs)
+	d.parallelSubs += int64(len(intraSubs))
+	intraActs := make([]int64, len(intraSubs))
+	maintain := func(s *Subgraph, parallelEntries bool) int64 {
 		if forceFull {
 			l.classifyMembers(s)
 			l.buildLocalFrame(s)
-			d.shortcutActivations += l.deduceShortcuts(s)
-		} else {
-			d.shortcutActivations += l.updateShortcutsIncremental(s, intraAdd[c], del)
+			return l.deduceShortcutsPar(s, parallelEntries)
 		}
-		d.affectedSubs[c] = s
+		return l.updateShortcutsIncremental(s, intraAdd[s.ID], intraDel[s.ID])
+	}
+	if len(intraSubs) == 1 {
+		// Single subgraph: fan out inside it (per-entry deduction) rather
+		// than spending the pool on a one-task outer level.
+		intraActs[0] = maintain(intraSubs[0], true)
+	} else {
+		grp := l.pool.Group()
+		for i, s := range intraSubs {
+			i, s := i, s
+			grp.Go(func() { intraActs[i] = maintain(s, false) })
+		}
+		grp.Wait()
+	}
+	for i, s := range intraSubs {
+		d.shortcutActivations += intraActs[i]
+		d.affectedSubs[s.ID] = s
 	}
 
 	upDirty := make(map[graph.VertexID]struct{}, len(dirtyRoles))

@@ -201,6 +201,12 @@ func Run(f *Frame, sr algo.Semiring, x0, m0 []float64, opt Options) *Result {
 	if opt.TrackChanged {
 		changed = make([]bool, n)
 	}
+	// seen/seenList track which vertices received messages this round in
+	// first-touch order, so the next active set — and therefore the whole
+	// run, message folding included — is reproducible for a fixed worker
+	// count (and allocation-free per round, unlike a map).
+	seen := make([]bool, n)
+	var seenList []graph.VertexID
 
 	res := &Result{Rounds: 0}
 	var wg sync.WaitGroup
@@ -270,9 +276,10 @@ func Run(f *Frame, sr algo.Semiring, x0, m0 []float64, opt Options) *Result {
 			res.Activations += a
 		}
 
-		// Merge phase: fold worker buffers into pending, rebuild active set.
+		// Merge phase: fold worker buffers into pending in fixed buffer
+		// order, rebuild the active set in first-touch order.
 		active = active[:0]
-		seen := make(map[graph.VertexID]struct{})
+		seenList = seenList[:0]
 		for _, buf := range bufs {
 			for _, v := range buf.touched {
 				val := buf.vals[v]
@@ -286,12 +293,16 @@ func Run(f *Frame, sr algo.Semiring, x0, m0 []float64, opt Options) *Result {
 				} else {
 					pending[v] += val
 				}
-				seen[v] = struct{}{}
+				if !seen[v] {
+					seen[v] = true
+					seenList = append(seenList, v)
+				}
 				buf.clear(v, zero)
 			}
 			buf.touched = buf.touched[:0]
 		}
-		for v := range seen {
+		for _, v := range seenList {
+			seen[v] = false
 			if significant(sr, idem, x[v], pending[v], opt.Tolerance) {
 				active = append(active, v)
 			}

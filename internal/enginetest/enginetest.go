@@ -50,8 +50,18 @@ func DefaultConfig() Config {
 
 // RunEquivalence drives the engine through cfg.Batches random batches per
 // seed and fails the test on the first divergence from a batch restart.
+// Under -short the run is trimmed to one seed and two batches so the
+// race-detector CI job stays within budget.
 func RunEquivalence(t *testing.T, name string, factory Factory, mkAlgo AlgoMaker, cfg Config) {
 	t.Helper()
+	if testing.Short() {
+		if len(cfg.Seeds) > 1 {
+			cfg.Seeds = cfg.Seeds[:1]
+		}
+		if cfg.Batches > 2 {
+			cfg.Batches = 2
+		}
+	}
 	for _, seed := range cfg.Seeds {
 		g, _ := gen.CommunityGraph(gen.CommunityConfig{
 			Vertices:      cfg.Vertices,

@@ -42,15 +42,32 @@ type Stats struct {
 	Resets int
 	// Duration is the wall-clock time of the update.
 	Duration time.Duration
+	// SubgraphsParallel counts the lower-layer subgraph tasks dispatched
+	// to the engine's shared worker pool during the update (upload
+	// fixpoints, shortcut maintenance and assignment replays; Layph only).
+	// It measures the parallelism the batch exposed, independent of how
+	// many threads actually ran the tasks.
+	SubgraphsParallel int64
+	// PoolUtilization is the fraction of worker-pool capacity kept busy
+	// over the update's wall-clock time (0..1; 0 for engines without a
+	// pool).
+	PoolUtilization float64
 }
 
 // Add accumulates another update's record into s: counters and durations
 // sum, so a zero Stats is the identity. Streaming pipelines use it to
 // aggregate per-micro-batch records over a stream's lifetime.
+// PoolUtilization, a ratio rather than a counter, combines as the
+// duration-weighted mean of the two records.
 func (s *Stats) Add(o Stats) {
+	if s.Duration+o.Duration > 0 {
+		s.PoolUtilization = (s.PoolUtilization*float64(s.Duration) +
+			o.PoolUtilization*float64(o.Duration)) / float64(s.Duration+o.Duration)
+	}
 	s.Activations += o.Activations
 	s.Rounds += o.Rounds
 	s.Resets += o.Resets
+	s.SubgraphsParallel += o.SubgraphsParallel
 	s.Duration += o.Duration
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"layph/internal/algo"
+	"layph/internal/core"
 	"layph/internal/delta"
 	"layph/internal/engine"
 	"layph/internal/gen"
@@ -349,5 +350,30 @@ func TestMetricsRollup(t *testing.T) {
 	}
 	if m.Engine.Duration <= 0 {
 		t.Fatal("aggregated engine stats empty")
+	}
+}
+
+// The parallel-execution counters of a pool-backed engine must survive
+// the stream's per-batch Stats aggregation: SubgraphsParallel sums and
+// PoolUtilization stays a ratio (duration-weighted mean), so rolling
+// `layph serve` reports can surface both.
+func TestMetricsCarryParallelCounters(t *testing.T) {
+	g := testGraph(13)
+	sys := core.New(g, algo.NewSSSP(0), core.Options{Workers: 4})
+	s := New(g, sys, Config{MaxBatch: 100, MaxDelay: -1})
+	for _, u := range updateSeq(g, 600, 14) {
+		if err := s.Push(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Engine.SubgraphsParallel == 0 {
+		t.Fatal("SubgraphsParallel not aggregated across micro-batches")
+	}
+	if m.Engine.PoolUtilization <= 0 || m.Engine.PoolUtilization > 1 {
+		t.Fatalf("PoolUtilization not a ratio after aggregation: %v", m.Engine.PoolUtilization)
 	}
 }

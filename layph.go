@@ -126,7 +126,20 @@ func Run(g *Graph, a Algorithm, threads int) []float64 {
 
 // Config tunes Layph construction (zero value = paper defaults).
 type Config struct {
-	// Threads is the parallelism of global iterations (0 = GOMAXPROCS).
+	// Threads is the parallelism of both layers (0 = GOMAXPROCS): the
+	// worker count of the global upper-layer iteration and the size of
+	// the shared pool that refines independent touched subgraphs
+	// concurrently. Threads=1 runs strictly sequentially.
+	//
+	// Determinism contract: for a fixed Threads value, identical inputs
+	// produce byte-identical state vectors for monotone min-semiring
+	// algorithms (SSSP, BFS) — subgraph tasks are independent, min
+	// folding is exact, and task results are merged in deterministic
+	// order. For sum-semiring algorithms (PageRank, PHP) identical runs
+	// agree within StatesClose tolerance: floating-point accumulation
+	// order inside the multi-worker global iteration may differ at
+	// rounding level. Across different Threads values, results agree
+	// within the algorithm's convergence tolerance.
 	Threads int
 	// MaxCommunitySize is the paper's K (0 = ~0.1% of |V|).
 	MaxCommunitySize int

@@ -3,6 +3,11 @@ package layph
 import (
 	"strings"
 	"testing"
+
+	"layph/internal/algo"
+	"layph/internal/enginetest"
+	"layph/internal/graph"
+	"layph/internal/inc"
 )
 
 func demoGraph() *Graph {
@@ -55,6 +60,59 @@ func TestAllSystemConstructors(t *testing.T) {
 		if !names[want] {
 			t.Fatalf("missing system %q (got %v)", want, names)
 		}
+	}
+}
+
+// differentialConfig sizes the cross-engine fuzzer for the CI budget:
+// full size normally, trimmed under -short (the race-detector job).
+func differentialConfig() enginetest.DifferentialConfig {
+	if testing.Short() {
+		return enginetest.ShortDifferentialConfig()
+	}
+	return enginetest.DefaultDifferentialConfig()
+}
+
+// layphFactory builds Layph at a fixed thread count for the fuzzer; the
+// Threads=1 twin is the sequential determinism baseline, Threads=8
+// exercises the parallel lower layer.
+func layphFactory(threads int) enginetest.Factory {
+	return func(g *graph.Graph, a algo.Algorithm) inc.System {
+		return NewLayph(g, a, Config{Threads: threads})
+	}
+}
+
+// TestDifferentialFuzzMin cross-checks Layph (sequential and parallel)
+// against Restart and the min-scheme baselines (Ingress, KickStarter,
+// RisGraph) on random add/del edge+vertex sequences, after every batch.
+func TestDifferentialFuzzMin(t *testing.T) {
+	engines := []enginetest.NamedFactory{
+		{Name: "layph-t1", New: layphFactory(1)},
+		{Name: "layph-t8", New: layphFactory(8)},
+		{Name: "ingress", New: func(g *graph.Graph, a algo.Algorithm) inc.System { return NewIngress(g, a, 2) }},
+		{Name: "kickstarter", New: func(g *graph.Graph, a algo.Algorithm) inc.System { return NewKickStarter(g, a, 2) }},
+		{Name: "risgraph", New: func(g *graph.Graph, a algo.Algorithm) inc.System { return NewRisGraph(g, a, 2) }},
+	}
+	for name, mk := range enginetest.MinAlgorithms() {
+		t.Run(name, func(t *testing.T) {
+			enginetest.RunDifferential(t, engines, mk, differentialConfig())
+		})
+	}
+}
+
+// TestDifferentialFuzzSum is the sum-scheme counterpart: Layph vs Restart
+// vs Ingress, GraphBolt and DZiG on PageRank/PHP.
+func TestDifferentialFuzzSum(t *testing.T) {
+	engines := []enginetest.NamedFactory{
+		{Name: "layph-t1", New: layphFactory(1)},
+		{Name: "layph-t8", New: layphFactory(8)},
+		{Name: "ingress", New: func(g *graph.Graph, a algo.Algorithm) inc.System { return NewIngress(g, a, 2) }},
+		{Name: "graphbolt", New: func(g *graph.Graph, a algo.Algorithm) inc.System { return NewGraphBolt(g, a) }},
+		{Name: "dzig", New: func(g *graph.Graph, a algo.Algorithm) inc.System { return NewDZiG(g, a) }},
+	}
+	for name, mk := range enginetest.SumAlgorithms() {
+		t.Run(name, func(t *testing.T) {
+			enginetest.RunDifferential(t, engines, mk, differentialConfig())
+		})
 	}
 }
 
