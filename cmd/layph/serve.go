@@ -5,17 +5,27 @@ package main
 // synthesized with -rand, pushed into the micro-batching pipeline of
 // internal/stream, and applied incrementally by the chosen engine while a
 // reporter goroutine prints rolling state and throughput.
+//
+// With -listen ADDR the process becomes a daemon: an HTTP API
+// (internal/server) accepts POST /push batches and serves GET /query
+// reads from live snapshots, alongside any -input/-rand feed, until
+// SIGINT/SIGTERM triggers a graceful drain and shutdown.
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"layph/internal/delta"
 	"layph/internal/graph"
+	"layph/internal/server"
 	"layph/internal/stream"
 )
 
@@ -23,7 +33,7 @@ func serveMain(args []string) {
 	fs := flag.NewFlagSet("layph serve", flag.ExitOnError)
 	ef := registerEngineFlags(fs)
 	var (
-		input     = fs.String("input", "", "update stream file ('-' = stdin; empty requires -rand)")
+		input     = fs.String("input", "", "update stream file ('-' = stdin; empty requires -rand or -listen)")
 		randN     = fs.Int("rand", 0, "synthesize this many random updates instead of reading -input")
 		seed      = fs.Int64("seed", 42, "seed for -rand")
 		maxBatch  = fs.Int("batch", 1024, "micro-batch count trigger")
@@ -33,11 +43,12 @@ func serveMain(args []string) {
 		report    = fs.Duration("report", time.Second, "progress report interval (0 disables reports)")
 		top       = fs.Int("top", 3, "sample this many vertex states in reports")
 		maxVertex = fs.Uint("maxvertex", 0, "reject updates referencing vertex ids >= this (0 = |V| + 1048576)")
+		listen    = fs.String("listen", "", "serve the HTTP API on this address (e.g. 127.0.0.1:8090) until SIGINT")
 	)
 	fs.Parse(args)
 
-	if *input == "" && *randN <= 0 {
-		fmt.Fprintln(os.Stderr, "serve: need -input FILE, -input -, or -rand N")
+	if *listen == "" && *input == "" && *randN <= 0 {
+		fmt.Fprintln(os.Stderr, "serve: need -input FILE, -input -, -rand N, or -listen ADDR")
 		os.Exit(2)
 	}
 	var pol stream.Policy
@@ -85,6 +96,12 @@ func serveMain(args []string) {
 	if idCap == 0 {
 		idCap = graph.VertexID(g.Cap() + 1<<20)
 	}
+
+	if *listen != "" {
+		daemonMain(s, *listen, idCap, *input, *randN, *seed, g, stopReport, reportDone, *top)
+		return
+	}
+
 	pushed, dropped := feed(s, *input, *randN, *seed, g, idCap)
 
 	if err := s.Drain(); err != nil {
@@ -92,39 +109,89 @@ func serveMain(args []string) {
 	}
 	close(stopReport)
 	<-reportDone
-	snap := s.Query()
-	m := s.Metrics()
 	s.Close()
 
-	fmt.Printf("done: pushed=%d dropped=%d applied=%d batches=%d\n",
-		pushed, dropped, m.Applied, m.Batches)
+	fmt.Printf("done: pushed=%d dropped=%d\n", pushed, dropped)
+	printFinal(s, *top)
+}
+
+// daemonMain runs serve's -listen mode: start the HTTP API, keep any
+// -input/-rand feed running in the background, and block until
+// SIGINT/SIGTERM, then drain the stream and stop the listener.
+func daemonMain(s *stream.Stream, addr string, idCap graph.VertexID,
+	input string, randN int, seed int64, g *graph.Graph,
+	stopReport, reportDone chan struct{}, top int) {
+	srv := server.New(s, server.Config{Addr: addr, MaxVertexID: idCap})
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("listening on http://%s\n", srv.Addr())
+
+	// Any local feed runs alongside the HTTP writers; it stops on its
+	// own when the stream closes underneath it during shutdown.
+	if input != "" || randN > 0 {
+		go feed(s, input, randN, seed, g, idCap)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	signal.Stop(sig)
+	fmt.Printf("%s: draining stream and shutting down\n", got)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "shutdown:", err)
+		os.Exit(1)
+	}
+	close(stopReport)
+	<-reportDone
+	printFinal(s, top)
+}
+
+// printFinal prints the end-of-run summary from the stream's final
+// snapshot and metrics (valid after Close: snapshots stay readable).
+func printFinal(s *stream.Stream, top int) {
+	snap := s.Query()
+	m := s.Metrics()
+	fmt.Printf("stream totals: accepted=%d dropped=%d applied=%d batches=%d\n",
+		m.Accepted, m.Dropped, m.Applied, m.Batches)
 	fmt.Printf("engine totals: activations=%d rounds=%d resets=%d update-time=%v subgraph-tasks=%d pool-util=%.0f%%\n",
 		m.Engine.Activations, m.Engine.Rounds, m.Engine.Resets, m.Engine.Duration.Round(time.Microsecond),
 		m.Engine.SubgraphsParallel, 100*m.Engine.PoolUtilization)
-	fmt.Printf("final snapshot: seq=%d updates=%d %s\n", snap.Seq, snap.Updates, sampleStates(snap.States, *top))
+	fmt.Printf("final snapshot: seq=%d updates=%d %s\n", snap.Seq, snap.Updates, sampleStates(snap.States, top))
 }
 
 // feed pushes the whole update source into the stream, returning how many
 // updates were pushed and dropped. Updates referencing vertex ids at or
 // above idCap are rejected: a single hostile "av 4294967295" line would
 // otherwise make the graph (and every engine state vector) grow to that
-// id and OOM the server.
+// id and OOM the server. A closed stream (daemon shutdown racing the
+// feed) ends the feed quietly instead of failing the process.
 func feed(s *stream.Stream, input string, randN int, seed int64, g *graph.Graph, idCap graph.VertexID) (pushed, dropped int64) {
-	push := func(u delta.Update) {
-		switch err := s.Push(u); err {
-		case nil:
+	var errStop = errors.New("stream closed")
+	push := func(u delta.Update) error {
+		switch err := s.Push(u); {
+		case err == nil:
 			pushed++
-		case stream.ErrQueueFull:
+		case errors.Is(err, stream.ErrQueueFull):
 			dropped++
+		case errors.Is(err, stream.ErrClosed):
+			return errStop
 		default:
 			fmt.Fprintln(os.Stderr, "push:", err)
 			os.Exit(1)
 		}
+		return nil
 	}
 
 	if randN > 0 {
 		for _, u := range delta.NewGenerator(seed).UnitSequence(g, randN, true) {
-			push(u)
+			if push(u) != nil {
+				return pushed, dropped
+			}
 		}
 		return pushed, dropped
 	}
@@ -151,10 +218,9 @@ func feed(s *stream.Stream, input string, randN int, seed int64, g *graph.Graph,
 			fmt.Fprintf(os.Stderr, "line %d: vertex id beyond -maxvertex %d (skipped)\n", lineno, idCap)
 			return nil
 		}
-		push(u)
-		return nil
+		return push(u)
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, errStop) {
 		fmt.Fprintln(os.Stderr, "read:", err)
 	}
 	return pushed, dropped

@@ -75,6 +75,7 @@ func All() []Experiment {
 		{"fig11b", "Fig 11b: offline preprocessing amortization, SSSP on UK", Fig11b},
 		{"stream", "Streaming: sustained micro-batched ingestion throughput, SSSP on UK", StreamingExperiment},
 		{"parallel", "Parallel: Layph incremental-update speedup vs threads, SSSP on the community graph", ParallelExperiment},
+		{"serve", "Serve: HTTP read QPS and latency under a live write stream", ServeExperiment},
 	}
 }
 

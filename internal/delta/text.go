@@ -14,11 +14,26 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
 	"layph/internal/graph"
 )
+
+// CheckWeight validates an edge weight arriving from an untrusted source
+// (the text wire format, the HTTP push API). Weights must be finite and
+// non-negative: NaN poisons every semiring aggregation, and the
+// min-semiring workloads (SSSP/BFS) diverge on negative cycles.
+func CheckWeight(w float64) error {
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("delta: non-finite weight %v", w)
+	}
+	if w < 0 {
+		return fmt.Errorf("delta: negative weight %g", w)
+	}
+	return nil
+}
 
 // ParseUpdate parses one line of the text wire format.
 func ParseUpdate(line string) (Update, error) {
@@ -51,6 +66,9 @@ func ParseUpdate(line string) (Update, error) {
 			w, err = strconv.ParseFloat(fields[3], 64)
 			if err != nil {
 				return Update{}, fmt.Errorf("delta: bad weight %q", fields[3])
+			}
+			if err := CheckWeight(w); err != nil {
+				return Update{}, err
 			}
 		}
 		return Update{Kind: AddEdge, U: u, V: v, W: w}, nil

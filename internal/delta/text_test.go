@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"layph/internal/graph"
 )
 
 func TestParseFormatRoundTrip(t *testing.T) {
@@ -51,5 +53,110 @@ func TestParseUpdateErrors(t *testing.T) {
 	bad := "a 0 1\nboom\n"
 	if _, err := ReadUpdates(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "line 2") {
 		t.Fatalf("ReadUpdates error %v, want line 2 context", err)
+	}
+}
+
+// TestParseUpdateUntrustedInput covers the hostile shapes the wire format
+// receives once it fronts an HTTP endpoint: the parser must reject them
+// with an error (never panic, never let a poisoned value through).
+func TestParseUpdateUntrustedInput(t *testing.T) {
+	cases := []struct {
+		name, line string
+		wantErr    string
+	}{
+		{"nan weight", "a 1 2 NaN", "non-finite"},
+		{"pos-inf weight", "a 1 2 Inf", "non-finite"},
+		{"neg-inf weight", "a 1 2 -Inf", "non-finite"},
+		{"negative weight", "a 1 2 -3.5", "negative weight"},
+		{"overflowing weight", "a 1 2 1e309", "bad weight"},
+		{"hex weight", "a 1 2 0xFF", "bad weight"},
+		{"id overflows uint32", "a 4294967296 2", "bad vertex id"},
+		{"negative id", "a 1 -2", "bad vertex id"},
+		{"float id", "a 1.5 2", "bad vertex id"},
+		{"empty after op", "a", "want 'a <u> <v> [w]'"},
+		{"extra fields", "a 1 2 3 4", "want 'a <u> <v> [w]'"},
+		{"delete with weight", "d 1 2 3", "want 'd <u> <v>'"},
+		{"unknown op", "addedge 1 2", "unknown update op"},
+		{"null bytes", "a \x00 2", "bad vertex id"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u, err := ParseUpdate(tc.line)
+			if err == nil {
+				t.Fatalf("ParseUpdate(%q) accepted as %v", tc.line, u)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseUpdate(%q) error %q, want substring %q", tc.line, err, tc.wantErr)
+			}
+		})
+	}
+	// Benign shapes stay accepted: zero weight, omitted weight, big-but-
+	// valid ids, scientific notation, surrounding whitespace.
+	ok := []struct {
+		line string
+		want Update
+	}{
+		{"a 1 2 0", Update{Kind: AddEdge, U: 1, V: 2, W: 0}},
+		{"a 1 2", Update{Kind: AddEdge, U: 1, V: 2, W: 1}},
+		{"a 4294967295 0 2e-3", Update{Kind: AddEdge, U: 4294967295, V: 0, W: 0.002}},
+		{"  d   7   9  ", Update{Kind: DelEdge, U: 7, V: 9}},
+	}
+	for _, tc := range ok {
+		u, err := ParseUpdate(tc.line)
+		if err != nil {
+			t.Fatalf("ParseUpdate(%q): %v", tc.line, err)
+		}
+		if u != tc.want {
+			t.Fatalf("ParseUpdate(%q) = %v, want %v", tc.line, u, tc.want)
+		}
+	}
+}
+
+// A duplicate add/del of the same edge inside one batch must net out to
+// nothing when applied — HTTP clients will retry and replay.
+func TestDuplicateAddDelNetsOut(t *testing.T) {
+	g := graph.New(4)
+	b, err := ReadUpdates(strings.NewReader("a 0 1 2\nd 0 1\na 0 1 2\nd 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := Apply(g, b); !a.Empty() {
+		t.Fatalf("add/del/add/del of one edge netted %+v, want empty", a)
+	}
+	if _, ok := g.HasEdge(0, 1); ok {
+		t.Fatal("edge survived a net-zero batch")
+	}
+	// Duplicate adds with the same weight collapse to one edge; the
+	// duplicate is a silent no-op.
+	b2, err := ReadUpdates(strings.NewReader("a 2 3 5\na 2 3 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := Apply(g, b2)
+	if len(a2.AddedEdges) != 1 {
+		t.Fatalf("duplicate add recorded %d net added edges, want 1", len(a2.AddedEdges))
+	}
+	if w, ok := g.HasEdge(2, 3); !ok || w != 5 {
+		t.Fatalf("edge (2,3) = %v,%v after duplicate add", w, ok)
+	}
+}
+
+// Overlong lines (beyond the scanner's 1 MiB token cap) must surface as a
+// scan error, not a panic or a silent truncation.
+func TestOverlongLineRejected(t *testing.T) {
+	long := "a 0 1 " + strings.Repeat("9", 2<<20)
+	err := ForEachUpdate(strings.NewReader(long), func(int, Update, error) error { return nil })
+	if err == nil {
+		t.Fatal("2 MiB line accepted by ForEachUpdate")
+	}
+	if _, err := ReadUpdates(strings.NewReader(long)); err == nil {
+		t.Fatal("2 MiB line accepted by ReadUpdates")
+	}
+	// A line just under the cap still parses (weight overflows float64
+	// range and is rejected by value, not by length — still an error, but
+	// proves the scanner passed it through).
+	nearCap := "a 0 1 1" + strings.Repeat("0", 1000)
+	if _, err := ParseUpdate(nearCap); err == nil {
+		t.Fatal("10^1000 weight accepted")
 	}
 }

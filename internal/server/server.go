@@ -1,0 +1,504 @@
+// Package server promotes the streaming pipeline to a network daemon: an
+// HTTP/JSON API over a live stream.Stream, serving concurrent reads from
+// the pipeline's lock-free immutable snapshots while updates keep
+// flowing in.
+//
+// Endpoints:
+//
+//	POST /push     ingest an update batch — text wire format (see
+//	               delta.ParseUpdate) or a JSON array of
+//	               {"op","u","v","w"} objects — into the micro-batcher
+//	GET  /query    read state from the current snapshot: ?v=1,2,3 for
+//	               point/multi-vertex reads, ?topk=K&order=min|max for
+//	               the best-K vertices, both served from ONE snapshot
+//	GET  /metrics  rolling throughput/latency plus aggregated engine
+//	               stats (activations, pool utilization, ...)
+//	GET  /healthz  liveness + readiness
+//
+// Reads never touch engine locks: /query works entirely on the immutable
+// Snapshot published after each micro-batch, so any number of concurrent
+// readers coexist with the single stream worker. Pushes are validated
+// atomically (ids against a cap, weights finite and non-negative) before
+// the first update enters the queue, so a malformed batch is rejected
+// wholesale with a 4xx instead of half-applying.
+//
+// Shutdown ordering: Shutdown first marks the server draining (new
+// pushes fail with 503), then closes the stream — which drains the
+// queue, flushes the pending micro-batch and publishes the final
+// snapshot — and only then stops the HTTP listener, so in-flight queries
+// keep being answered from snapshots until the very end.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"layph/internal/delta"
+	"layph/internal/graph"
+	"layph/internal/stream"
+)
+
+// Config tunes the daemon. The zero value gives sane defaults.
+type Config struct {
+	// Addr is the TCP listen address for Start (default "127.0.0.1:8090";
+	// use ":0" for an ephemeral port, then read Addr()).
+	Addr string
+	// MaxVertexID rejects pushed updates referencing vertex ids at or
+	// above it (0 = current state-vector length + 2^20). Without a cap a
+	// single hostile "av 4294967295" would grow every state vector to
+	// that id and OOM the server.
+	MaxVertexID graph.VertexID
+	// MaxBodyBytes bounds a /push request body (0 = 8 MiB).
+	MaxBodyBytes int64
+	// MaxQueryVertices bounds the ids of one multi-vertex /query
+	// (0 = 1024).
+	MaxQueryVertices int
+	// MaxTopK bounds /query?topk (0 = 100).
+	MaxTopK int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8090"
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxQueryVertices <= 0 {
+		c.MaxQueryVertices = 1024
+	}
+	if c.MaxTopK <= 0 {
+		c.MaxTopK = 100
+	}
+	return c
+}
+
+// Server is the HTTP daemon over one Stream. Construct with New, mount
+// Handler on any mux or call Start/Shutdown for a managed listener.
+type Server struct {
+	cfg      Config
+	st       atomic.Pointer[stream.Stream]
+	draining atomic.Bool
+
+	mux       *http.ServeMux
+	hs        *http.Server
+	ln        net.Listener
+	serveDone chan struct{}
+	serveErr  error
+}
+
+// New returns a daemon over st (which must already be running). st may
+// be nil — e.g. while the engine's initial batch computation is still
+// building — in which case /query, /push and /metrics answer 503 until
+// Attach is called; /healthz reports ready=false but stays 200.
+func New(st *stream.Stream, cfg Config) *Server {
+	s := &Server{cfg: cfg.withDefaults(), serveDone: make(chan struct{})}
+	if st != nil {
+		s.st.Store(st)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/push", s.handlePush)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Attach sets (or replaces) the stream backing the API.
+func (s *Server) Attach(st *stream.Stream) { s.st.Store(st) }
+
+// Handler returns the API handler, for mounting without Start (tests,
+// embedding under an existing server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds cfg.Addr and serves in a background goroutine. Use Addr
+// for the bound address and Shutdown to stop.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.hs = &http.Server{Handler: s.mux}
+	go func() {
+		defer close(s.serveDone)
+		if err := s.hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr = err
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listener address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown gracefully stops the daemon: new pushes fail with 503, the
+// stream is closed (draining the queue and publishing the final
+// snapshot), then the listener stops, bounded by ctx. Queries are served
+// until the listener goes down. Safe without Start (handler-only use)
+// and idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var first error
+	if st := s.st.Load(); st != nil {
+		if err := st.Close(); err != nil {
+			first = err
+		}
+	}
+	if s.hs != nil {
+		if err := s.hs.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+		<-s.serveDone
+		if s.serveErr != nil && first == nil {
+			first = s.serveErr
+		}
+	}
+	return first
+}
+
+// --- /push -------------------------------------------------------------
+
+// pushResponse reports the fate of a pushed batch.
+type pushResponse struct {
+	// Accepted updates entered the micro-batcher (they will be applied in
+	// order); Dropped were shed by the queue under the Drop backpressure
+	// policy.
+	Accepted int `json:"accepted"`
+	Dropped  int `json:"dropped"`
+}
+
+// jsonUpdate is the JSON wire form of one update: op "a"/"d"/"av"/"dv"
+// as in the text format; w may be omitted for "a" (defaults to 1).
+type jsonUpdate struct {
+	Op string         `json:"op"`
+	U  graph.VertexID `json:"u"`
+	V  graph.VertexID `json:"v"`
+	W  *float64       `json:"w"`
+}
+
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "push requires POST")
+		return
+	}
+	st := s.st.Load()
+	if st == nil {
+		httpError(w, http.StatusServiceUnavailable, "no stream attached yet")
+		return
+	}
+	if s.draining.Load() || st.Closed() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	idCap := s.cfg.MaxVertexID
+	if idCap == 0 {
+		idCap = capFromSnapshot(st)
+	}
+	var (
+		batch delta.Batch
+		err   error
+	)
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		batch, err = parseJSONUpdates(r.Body, idCap)
+	} else {
+		batch, err = parseTextUpdates(r.Body, idCap)
+	}
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) || errors.Is(err, bufio.ErrTooLong) {
+			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+		} else {
+			httpError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	var resp pushResponse
+	for _, u := range batch {
+		switch err := st.Push(u); {
+		case err == nil:
+			resp.Accepted++
+		case errors.Is(err, stream.ErrQueueFull):
+			resp.Dropped++
+		case errors.Is(err, stream.ErrClosed):
+			// Shutdown raced the batch: the first resp.Accepted updates
+			// are acknowledged and will be in the final snapshot; the
+			// rest were refused.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error": "stream closed mid-batch", "accepted": resp.Accepted,
+			})
+			return
+		default:
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// capFromSnapshot derives the default push id cap from the current
+// state-vector length, leaving generous headroom for organic growth.
+func capFromSnapshot(st *stream.Stream) graph.VertexID {
+	n := st.Query().Len()
+	cap64 := uint64(n) + 1<<20
+	if cap64 > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return graph.VertexID(cap64)
+}
+
+func checkIDs(u delta.Update, idCap graph.VertexID) error {
+	isEdge := u.Kind == delta.AddEdge || u.Kind == delta.DelEdge
+	if u.U >= idCap || (isEdge && u.V >= idCap) {
+		return fmt.Errorf("server: vertex id beyond cap %d", idCap)
+	}
+	return nil
+}
+
+// parseTextUpdates parses a text wire-format body strictly: unlike the
+// replay CLI, an HTTP push with any malformed line is rejected whole.
+func parseTextUpdates(r io.Reader, idCap graph.VertexID) (delta.Batch, error) {
+	var b delta.Batch
+	err := delta.ForEachUpdate(r, func(lineno int, u delta.Update, perr error) error {
+		if perr != nil {
+			return fmt.Errorf("line %d: %w", lineno, perr)
+		}
+		if err := checkIDs(u, idCap); err != nil {
+			return fmt.Errorf("line %d: %w", lineno, err)
+		}
+		b = append(b, u)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func parseJSONUpdates(r io.Reader, idCap graph.VertexID) (delta.Batch, error) {
+	dec := json.NewDecoder(r)
+	var raw []jsonUpdate
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("server: bad JSON update array: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("server: trailing data after JSON update array")
+	}
+	b := make(delta.Batch, 0, len(raw))
+	for i, ju := range raw {
+		var u delta.Update
+		switch ju.Op {
+		case "a":
+			w := 1.0
+			if ju.W != nil {
+				w = *ju.W
+			}
+			if err := delta.CheckWeight(w); err != nil {
+				return nil, fmt.Errorf("update %d: %w", i, err)
+			}
+			u = delta.Update{Kind: delta.AddEdge, U: ju.U, V: ju.V, W: w}
+		case "d":
+			u = delta.Update{Kind: delta.DelEdge, U: ju.U, V: ju.V}
+		case "av":
+			u = delta.Update{Kind: delta.AddVertex, U: ju.U}
+		case "dv":
+			u = delta.Update{Kind: delta.DelVertex, U: ju.U}
+		default:
+			return nil, fmt.Errorf("update %d: unknown op %q (want a|d|av|dv)", i, ju.Op)
+		}
+		if err := checkIDs(u, idCap); err != nil {
+			return nil, fmt.Errorf("update %d: %w", i, err)
+		}
+		b = append(b, u)
+	}
+	return b, nil
+}
+
+// --- /query ------------------------------------------------------------
+
+// queryResponse is one consistent read: every state in it comes from the
+// single snapshot identified by Seq.
+type queryResponse struct {
+	Seq     uint64               `json:"seq"`
+	Updates uint64               `json:"updates"`
+	At      time.Time            `json:"at"`
+	States  []stream.VertexState `json:"states,omitempty"`
+	Top     []stream.VertexState `json:"top,omitempty"`
+	Order   string               `json:"order,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "query requires GET")
+		return
+	}
+	st := s.st.Load()
+	if st == nil {
+		httpError(w, http.StatusServiceUnavailable, "no snapshot published yet")
+		return
+	}
+	q := r.URL.Query()
+	vParam, topkParam := q.Get("v"), q.Get("topk")
+	if vParam == "" && topkParam == "" {
+		httpError(w, http.StatusBadRequest, "need ?v=<id>[,<id>...] and/or ?topk=<k>")
+		return
+	}
+
+	snap := st.Query() // one snapshot serves the whole request
+	resp := queryResponse{Seq: snap.Seq, Updates: snap.Updates, At: snap.At}
+
+	if vParam != "" {
+		ids := strings.Split(vParam, ",")
+		if len(ids) > s.cfg.MaxQueryVertices {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("too many vertices in one query: %d > %d", len(ids), s.cfg.MaxQueryVertices))
+			return
+		}
+		resp.States = make([]stream.VertexState, 0, len(ids))
+		for _, idStr := range ids {
+			n, err := strconv.ParseUint(strings.TrimSpace(idStr), 10, 32)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("bad vertex id %q", idStr))
+				return
+			}
+			v := graph.VertexID(n)
+			x, ok := snap.State(v)
+			if !ok {
+				httpError(w, http.StatusNotFound,
+					fmt.Sprintf("vertex %d beyond state vector (len %d)", v, snap.Len()))
+				return
+			}
+			resp.States = append(resp.States, stream.VertexState{V: v, X: x})
+		}
+	}
+	if topkParam != "" {
+		k, err := strconv.Atoi(topkParam)
+		if err != nil || k < 1 || k > s.cfg.MaxTopK {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("topk must be an integer in [1,%d]", s.cfg.MaxTopK))
+			return
+		}
+		order := q.Get("order")
+		if order == "" {
+			order = "min"
+		}
+		if order != "min" && order != "max" {
+			httpError(w, http.StatusBadRequest, "order must be min or max")
+			return
+		}
+		resp.Top = snap.TopK(k, order == "max")
+		resp.Order = order
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /metrics and /healthz ---------------------------------------------
+
+// engineMetrics is the JSON shape of the aggregated inc.Stats.
+type engineMetrics struct {
+	Activations       int64   `json:"activations"`
+	Rounds            int     `json:"rounds"`
+	Resets            int     `json:"resets"`
+	UpdateSeconds     float64 `json:"update_seconds"`
+	SubgraphsParallel int64   `json:"subgraphs_parallel"`
+	PoolUtilization   float64 `json:"pool_utilization"`
+}
+
+// metricsResponse summarizes daemon and stream health.
+type metricsResponse struct {
+	Ready           bool          `json:"ready"`
+	Draining        bool          `json:"draining"`
+	Seq             uint64        `json:"seq"`
+	Updates         uint64        `json:"updates"`
+	Accepted        int64         `json:"accepted"`
+	Dropped         int64         `json:"dropped"`
+	Applied         int64         `json:"applied"`
+	Batches         int64         `json:"batches"`
+	ThroughputUPS   float64       `json:"throughput_ups"`
+	MeanBatchMillis float64       `json:"mean_batch_ms"`
+	Engine          engineMetrics `json:"engine"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "metrics requires GET")
+		return
+	}
+	st := s.st.Load()
+	if st == nil {
+		httpError(w, http.StatusServiceUnavailable, "no stream attached yet")
+		return
+	}
+	m := st.Metrics()
+	snap := st.Query()
+	writeJSON(w, http.StatusOK, metricsResponse{
+		Ready:           true,
+		Draining:        s.draining.Load(),
+		Seq:             snap.Seq,
+		Updates:         snap.Updates,
+		Accepted:        m.Accepted,
+		Dropped:         m.Dropped,
+		Applied:         m.Applied,
+		Batches:         m.Batches,
+		ThroughputUPS:   m.Throughput,
+		MeanBatchMillis: float64(m.MeanBatchLatency) / float64(time.Millisecond),
+		Engine: engineMetrics{
+			Activations:       m.Engine.Activations,
+			Rounds:            m.Engine.Rounds,
+			Resets:            m.Engine.Resets,
+			UpdateSeconds:     m.Engine.Duration.Seconds(),
+			SubgraphsParallel: m.Engine.SubgraphsParallel,
+			PoolUtilization:   m.Engine.PoolUtilization,
+		},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "healthz requires GET")
+		return
+	}
+	resp := map[string]any{
+		"ok":       true,
+		"ready":    false,
+		"draining": s.draining.Load(),
+	}
+	if st := s.st.Load(); st != nil {
+		resp["ready"] = !st.Closed()
+		resp["seq"] = st.Query().Seq
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- shared helpers ----------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,150 @@
+package stream
+
+// Snapshot read helpers for serving layers: bounds-checked point reads
+// and top-k selection over the immutable state vector. Everything here
+// operates on the published copy, so callers (HTTP handlers, many of
+// them concurrently) never touch engine state or locks.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"layph/internal/graph"
+)
+
+// VertexState pairs a vertex id with its state value in one snapshot.
+type VertexState struct {
+	V graph.VertexID `json:"v"`
+	X float64        `json:"x"`
+}
+
+// vsWire is the JSON shape of a VertexState: x is a number, or one of
+// the strings "Infinity"/"-Infinity"/"NaN" for the IEEE values JSON
+// cannot carry (SSSP/BFS state unreachable vertices as +Inf).
+type vsWire struct {
+	V graph.VertexID `json:"v"`
+	X any            `json:"x"`
+}
+
+// MarshalJSON implements json.Marshaler with the non-finite encoding
+// above, so serving layers can return any state vector verbatim.
+func (vs VertexState) MarshalJSON() ([]byte, error) {
+	var x any = vs.X
+	switch {
+	case math.IsInf(vs.X, 1):
+		x = "Infinity"
+	case math.IsInf(vs.X, -1):
+		x = "-Infinity"
+	case math.IsNaN(vs.X):
+		x = "NaN"
+	}
+	return json.Marshal(vsWire{V: vs.V, X: x})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (vs *VertexState) UnmarshalJSON(b []byte) error {
+	var w vsWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	vs.V = w.V
+	switch x := w.X.(type) {
+	case float64:
+		vs.X = x
+	case string:
+		switch x {
+		case "Infinity":
+			vs.X = math.Inf(1)
+		case "-Infinity":
+			vs.X = math.Inf(-1)
+		case "NaN":
+			vs.X = math.NaN()
+		default:
+			return fmt.Errorf("stream: bad state value %q", x)
+		}
+	default:
+		return fmt.Errorf("stream: bad state value %v", w.X)
+	}
+	return nil
+}
+
+// State returns the snapshot state of v; ok is false when v lies beyond
+// the state vector (the vertex did not exist at publication time).
+func (sn *Snapshot) State(v graph.VertexID) (float64, bool) {
+	if int(v) >= len(sn.States) {
+		return 0, false
+	}
+	return sn.States[v], true
+}
+
+// Len returns the length of the snapshot's state vector.
+func (sn *Snapshot) Len() int { return len(sn.States) }
+
+// TopK returns up to k vertices with the best finite state values —
+// smallest when largest is false (SSSP/BFS distances), biggest when true
+// (PageRank/PHP mass) — ordered best first, ties broken by lower vertex
+// id. Non-finite states (unreached vertices) are skipped. It runs in
+// O(n log k) over the state vector, without mutating the snapshot.
+func (sn *Snapshot) TopK(k int, largest bool) []VertexState {
+	if k <= 0 {
+		return nil
+	}
+	better := func(a, b VertexState) bool {
+		if a.X != b.X {
+			if largest {
+				return a.X > b.X
+			}
+			return a.X < b.X
+		}
+		return a.V < b.V
+	}
+	// Slice-heap with the WORST kept entry at the root, so each new
+	// candidate only competes with the current cutoff.
+	heap := make([]VertexState, 0, k)
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			worst := i
+			if l < len(heap) && better(heap[worst], heap[l]) {
+				worst = l
+			}
+			if r < len(heap) && better(heap[worst], heap[r]) {
+				worst = r
+			}
+			if worst == i {
+				return
+			}
+			heap[i], heap[worst] = heap[worst], heap[i]
+			i = worst
+		}
+	}
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !better(heap[p], heap[i]) {
+				return
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	for v, x := range sn.States {
+		if math.IsInf(x, 0) || math.IsNaN(x) {
+			continue
+		}
+		cand := VertexState{V: graph.VertexID(v), X: x}
+		if len(heap) < k {
+			heap = append(heap, cand)
+			siftUp(len(heap) - 1)
+			continue
+		}
+		if better(cand, heap[0]) {
+			heap[0] = cand
+			siftDown(0)
+		}
+	}
+	sort.Slice(heap, func(i, j int) bool { return better(heap[i], heap[j]) })
+	return heap
+}

@@ -279,6 +279,10 @@ func (s *Stream) Close() error {
 	return nil
 }
 
+// Closed reports whether Close has been called. Serving layers use it to
+// fail pushes fast while the final drain runs.
+func (s *Stream) Closed() bool { return s.closed.Load() }
+
 // Metrics returns a point-in-time summary of counters and rolling rates.
 func (s *Stream) Metrics() Metrics {
 	s.mu.Lock()

@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -351,6 +352,145 @@ func TestMetricsRollup(t *testing.T) {
 	if m.Engine.Duration <= 0 {
 		t.Fatal("aggregated engine stats empty")
 	}
+}
+
+// Graceful-shutdown ordering: an update whose Push returned nil is
+// acknowledged and must be flushed into the final snapshot even when
+// Close races with the push — lost acks would let an HTTP client see a
+// 200 for an update the daemon then silently dropped. Many pushers hammer
+// a tiny queue while Close lands mid-stream; afterwards the accepted,
+// applied, and snapshot counters must all agree exactly.
+func TestCloseDuringInFlightPushesKeepsAcknowledged(t *testing.T) {
+	rounds := 25
+	if testing.Short() {
+		rounds = 8
+	}
+	for round := 0; round < rounds; round++ {
+		g := testGraph(int64(20 + round))
+		sys := ingress.New(g, algo.NewSSSP(0), engine.Options{Workers: 2})
+		s := New(g, sys, Config{MaxBatch: 16, MaxDelay: -1, QueueCap: 8})
+		seq := updateSeq(g, 600, int64(round))
+
+		const pushers = 6
+		var acked atomic.Int64
+		var wg sync.WaitGroup
+		for p := 0; p < pushers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := p; i < len(seq); i += pushers {
+					switch err := s.Push(seq[i]); err {
+					case nil:
+						acked.Add(1)
+					case ErrClosed:
+						return
+					default:
+						t.Errorf("push: %v", err)
+						return
+					}
+				}
+			}(p)
+		}
+		// Let some pushes land, then close mid-flight.
+		for s.Metrics().Accepted < 50 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+
+		m := s.Metrics()
+		snap := s.Query()
+		if m.Accepted != acked.Load() {
+			t.Fatalf("round %d: accepted counter %d != acknowledged pushes %d", round, m.Accepted, acked.Load())
+		}
+		if m.Applied != acked.Load() {
+			t.Fatalf("round %d: applied %d != acknowledged %d (acked update dropped on Close)", round, m.Applied, acked.Load())
+		}
+		if snap.Updates != uint64(acked.Load()) {
+			t.Fatalf("round %d: final snapshot covers %d updates, want %d", round, snap.Updates, acked.Load())
+		}
+	}
+}
+
+// Drain racing Close must never report success for updates that were not
+// flushed: whichever of the two wins, a nil Drain implies every prior
+// acknowledged push is in the final snapshot.
+func TestDrainRacingClose(t *testing.T) {
+	g := testGraph(31)
+	sys := ingress.New(g, algo.NewSSSP(0), engine.Options{Workers: 2})
+	s := New(g, sys, Config{MaxBatch: 32, MaxDelay: -1, QueueCap: 16})
+	seq := updateSeq(g, 400, 32)
+	var acked atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, u := range seq {
+			if err := s.Push(u); err != nil {
+				return
+			}
+			acked.Add(1)
+		}
+	}()
+	drained := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(200 * time.Microsecond)
+		drained <- s.Drain()
+	}()
+	time.Sleep(400 * time.Microsecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := <-drained; err != nil && err != ErrClosed {
+		t.Fatalf("drain: %v", err)
+	}
+	if m := s.Metrics(); m.Applied != acked.Load() {
+		t.Fatalf("applied %d != acknowledged %d", m.Applied, acked.Load())
+	}
+}
+
+func TestSnapshotReadHelpers(t *testing.T) {
+	snap := &Snapshot{States: []float64{3, math.Inf(1), 0, 7, 3, math.NaN(), 1}}
+	if x, ok := snap.State(3); !ok || x != 7 {
+		t.Fatalf("State(3) = %v,%v", x, ok)
+	}
+	if _, ok := snap.State(graph.VertexID(len(snap.States))); ok {
+		t.Fatal("State beyond vector must report !ok")
+	}
+	if snap.Len() != 7 {
+		t.Fatalf("Len = %d", snap.Len())
+	}
+	wantMin := []VertexState{{V: 2, X: 0}, {V: 6, X: 1}, {V: 0, X: 3}, {V: 4, X: 3}}
+	if got := snap.TopK(4, false); !equalVS(got, wantMin) {
+		t.Fatalf("TopK(4,min) = %v, want %v", got, wantMin)
+	}
+	wantMax := []VertexState{{V: 3, X: 7}, {V: 0, X: 3}, {V: 4, X: 3}}
+	if got := snap.TopK(3, true); !equalVS(got, wantMax) {
+		t.Fatalf("TopK(3,max) = %v, want %v", got, wantMax)
+	}
+	// k beyond the finite population returns only finite entries.
+	if got := snap.TopK(100, false); len(got) != 5 {
+		t.Fatalf("TopK(100) kept %d entries, want 5 finite", len(got))
+	}
+	if got := snap.TopK(0, false); got != nil {
+		t.Fatalf("TopK(0) = %v, want nil", got)
+	}
+}
+
+func equalVS(a, b []VertexState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // The parallel-execution counters of a pool-backed engine must survive

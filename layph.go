@@ -38,7 +38,9 @@
 package layph
 
 import (
+	"context"
 	"io"
+	"time"
 
 	"layph/internal/algo"
 	"layph/internal/community"
@@ -52,6 +54,7 @@ import (
 	"layph/internal/ingress"
 	"layph/internal/kickstarter"
 	"layph/internal/risgraph"
+	"layph/internal/server"
 	"layph/internal/stream"
 )
 
@@ -252,3 +255,31 @@ func ReadUpdates(r io.Reader) (Batch, error) { return delta.ReadUpdates(r) }
 
 // WriteUpdates renders a batch in the text wire format.
 func WriteUpdates(w io.Writer, b Batch) error { return delta.WriteUpdates(w, b) }
+
+// Server is the HTTP/JSON daemon over a Stream: POST /push ingests
+// update batches, GET /query reads point states and top-k from the
+// current snapshot, GET /metrics and GET /healthz expose liveness and
+// rolling throughput. See `layph serve -listen`.
+type Server = server.Server
+
+// ServerConfig tunes a Server (zero value = defaults: 127.0.0.1:8090,
+// 8 MiB request bodies, 1024 vertices per query, top-k <= 100).
+type ServerConfig = server.Config
+
+// NewServer wraps st in an HTTP daemon without starting a listener; use
+// its Handler for custom mux mounting, or Start/Shutdown directly.
+func NewServer(st *Stream, cfg ServerConfig) *Server { return server.New(st, cfg) }
+
+// Serve runs an HTTP daemon over st until ctx is cancelled, then shuts
+// down gracefully: the stream drains (acknowledged pushes reach a final
+// snapshot) before the listener stops. The stream is closed on return.
+func Serve(ctx context.Context, st *Stream, cfg ServerConfig) error {
+	srv := server.New(st, cfg)
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	<-ctx.Done()
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return srv.Shutdown(sctx)
+}
