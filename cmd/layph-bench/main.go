@@ -30,6 +30,7 @@ func main() {
 		batchSize  = flag.Int("batchsize", 0, "|dG| per batch (0 = paper default 5000)")
 		seed       = flag.Int64("seed", 0, "workload seed (0 = default)")
 		summary    = flag.Bool("summary", false, "also print the headline speedup summary")
+		perfsmoke  = flag.Bool("perfsmoke", false, "run the t=1 vs t=4 parallel perf smoke and exit nonzero if parallel loses to sequential (self-skips when GOMAXPROCS < 4)")
 	)
 	flag.Parse()
 
@@ -43,6 +44,10 @@ func main() {
 	o := bench.Options{
 		Scale: *scale, Threads: *threads, Batches: *batches,
 		BatchSize: *batchSize, Seed: *seed,
+	}
+
+	if *perfsmoke {
+		os.Exit(bench.PerfSmoke(os.Stdout, o))
 	}
 
 	run := func(e bench.Experiment) {

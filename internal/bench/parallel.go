@@ -22,7 +22,10 @@ import (
 // record (relative to the working directory).
 const ParallelJSONPath = "BENCH_parallel.json"
 
-// ParallelPoint is one thread-count measurement.
+// ParallelPoint is one thread-count measurement. Capped marks points where
+// the requested thread count exceeds GOMAXPROCS: the workers time-share the
+// available cores, so the point measures scheduling overhead, not scaling,
+// and must not be read as scaling data.
 type ParallelPoint struct {
 	Threads           int     `json:"threads"`
 	UpdateSeconds     float64 `json:"update_seconds"`
@@ -30,9 +33,12 @@ type ParallelPoint struct {
 	SubgraphsParallel int64   `json:"subgraphs_parallel"`
 	PoolUtilization   float64 `json:"pool_utilization"`
 	Activations       int64   `json:"activations"`
+	Capped            bool    `json:"capped,omitempty"`
 }
 
-// ParallelReport is the BENCH_parallel.json payload.
+// ParallelReport is the BENCH_parallel.json payload. Capped is set when any
+// point oversubscribed the cores (see ParallelPoint.Capped); such captures
+// are not valid scaling data and should be re-taken on >= 4 cores.
 type ParallelReport struct {
 	Graph      string          `json:"graph"`
 	Algo       string          `json:"algo"`
@@ -40,6 +46,7 @@ type ParallelReport struct {
 	Vertices   int             `json:"vertices"`
 	Batches    int             `json:"batches"`
 	BatchSize  int             `json:"batch_size"`
+	Capped     bool            `json:"capped,omitempty"`
 	Points     []ParallelPoint `json:"points"`
 }
 
@@ -103,6 +110,10 @@ func RunParallel(o Options) ParallelReport {
 			SubgraphsParallel: r.Stats.SubgraphsParallel,
 			PoolUtilization:   r.Stats.PoolUtilization,
 			Activations:       r.Activations,
+			Capped:            th > rep.GOMAXPROCS,
+		}
+		if p.Capped {
+			rep.Capped = true
 		}
 		if th == 1 {
 			t1 = r.UpdateSeconds
@@ -113,6 +124,46 @@ func RunParallel(o Options) ParallelReport {
 		rep.Points = append(rep.Points, p)
 	}
 	return rep
+}
+
+// PerfSmoke is the CI guard against the task-granularity regression: it
+// replays the parallel workload through Layph at Threads=1 and Threads=4
+// (best of two runs each, to damp shared-runner noise) and returns a
+// nonzero exit code when parallel execution loses to sequential. On
+// runners with fewer than 4 cores the t=4 measurement would be capped
+// (oversubscription, not scaling), so the check self-skips and passes.
+func PerfSmoke(w io.Writer, o Options) int {
+	if np := runtime.GOMAXPROCS(0); np < 4 {
+		fmt.Fprintf(w, "perf smoke: SKIP — GOMAXPROCS=%d < 4, the t=4 point would be capped (measures oversubscription, not scaling)\n", np)
+		return 0
+	}
+	o = o.normalize()
+	vertices := int(40000 * o.Scale)
+	if vertices < 200 {
+		vertices = 200
+	}
+	wl := CommunityWorkload(vertices, o.Batches, o.BatchSize, o.Seed)
+	mk := Algorithms()["SSSP"]
+	best := func(threads int) SystemResult {
+		r := RunSystem(wl, Layph, mk, threads)
+		if r2 := RunSystem(wl, Layph, mk, threads); r2.UpdateSeconds < r.UpdateSeconds {
+			r = r2
+		}
+		return r
+	}
+	r1, r4 := best(1), best(4)
+	speedup := 0.0
+	if r4.UpdateSeconds > 0 {
+		speedup = r1.UpdateSeconds / r4.UpdateSeconds
+	}
+	fmt.Fprintf(w, "perf smoke: SSSP on %s, %d batches x %d updates: t=1 %.4fs, t=4 %.4fs, speedup %.2fx, pool-util %.0f%%\n",
+		wl.Name, o.Batches, o.BatchSize, r1.UpdateSeconds, r4.UpdateSeconds, speedup, 100*r4.Stats.PoolUtilization)
+	if speedup < 1.0 {
+		fmt.Fprintf(w, "perf smoke: FAIL — parallel lower layer loses to sequential (speedup %.2fx < 1.0); task granularity or hot-path layout regressed\n", speedup)
+		return 1
+	}
+	fmt.Fprintln(w, "perf smoke: PASS")
+	return 0
 }
 
 // WriteParallelJSON writes the report to path (pretty-printed, trailing
@@ -131,9 +182,9 @@ func ParallelExperiment(w io.Writer, o Options) {
 	rep := RunParallel(o)
 	fmt.Fprintf(w, "Parallel lower layer (SSSP on %s, %d batches x %d updates, GOMAXPROCS=%d)\n",
 		rep.Graph, rep.Batches, rep.BatchSize, rep.GOMAXPROCS)
-	t := NewTable("threads", "update-s", "speedup-vs-t1", "subgraph-tasks", "pool-util")
+	t := NewTable("threads", "update-s", "speedup-vs-t1", "subgraph-tasks", "pool-util", "capped")
 	for _, p := range rep.Points {
-		t.Row(p.Threads, p.UpdateSeconds, p.SpeedupVsT1, p.SubgraphsParallel, p.PoolUtilization)
+		t.Row(p.Threads, p.UpdateSeconds, p.SpeedupVsT1, p.SubgraphsParallel, p.PoolUtilization, p.Capped)
 	}
 	t.Print(w)
 	if err := WriteParallelJSON(ParallelJSONPath, rep); err != nil {
@@ -141,7 +192,14 @@ func ParallelExperiment(w io.Writer, o Options) {
 	} else {
 		fmt.Fprintf(w, "(wrote %s)\n", ParallelJSONPath)
 	}
-	if rep.GOMAXPROCS < 4 {
-		fmt.Fprintln(w, "(note: fewer than 4 cores available; speedup-vs-threads is only meaningful at GOMAXPROCS >= 4)")
+	if rep.Capped {
+		fmt.Fprintf(w, `
+*** WARNING ********************************************************
+*** GOMAXPROCS=%d is below the measured thread counts. Capped     ***
+*** points time-share the cores: they measure oversubscription   ***
+*** overhead, NOT scaling. This capture is marked "capped": true ***
+*** in %s — re-run on >= 4 cores for scaling data.
+********************************************************************
+`, rep.GOMAXPROCS, ParallelJSONPath)
 	}
 }

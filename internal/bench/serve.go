@@ -45,7 +45,10 @@ type ServePoint struct {
 	Batches      int64   `json:"batches"`
 }
 
-// ServeReport is the BENCH_serve.json payload.
+// ServeReport is the BENCH_serve.json payload. Note flags captures taken
+// on hardware where reader counts oversubscribe the cores (same caveat as
+// ParallelReport.Capped: concurrency levels above GOMAXPROCS measure
+// time-sharing, not scaling).
 type ServeReport struct {
 	Graph          string       `json:"graph"`
 	Algo           string       `json:"algo"`
@@ -53,6 +56,7 @@ type ServeReport struct {
 	Vertices       int          `json:"vertices"`
 	WriteTargetUPS int          `json:"write_target_ups"`
 	PointSeconds   float64      `json:"point_seconds"`
+	Note           string       `json:"note,omitempty"`
 	Points         []ServePoint `json:"points"`
 }
 
@@ -136,6 +140,10 @@ func RunServe(o Options) ServeReport {
 		Vertices:       vertices,
 		WriteTargetUPS: writeUPS,
 		PointSeconds:   pointSecs,
+	}
+	if max := serveReaderCounts[len(serveReaderCounts)-1]; rep.GOMAXPROCS < max {
+		rep.Note = fmt.Sprintf("capped: GOMAXPROCS=%d < %d readers; reader-scaling points oversubscribe the cores and are not valid scaling data",
+			rep.GOMAXPROCS, max)
 	}
 	queryURL := ts.URL + fmt.Sprintf("/query?v=0,1,%d&topk=8", vertices-1)
 	for _, readers := range serveReaderCounts {

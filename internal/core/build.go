@@ -51,10 +51,12 @@ func New(g *graph.Graph, a algo.Algorithm, opt Options) *Layph {
 	l.role = make([]Role, n)
 	l.proxyHost = make([]graph.VertexID, n)
 	l.proxyAlive = make([]bool, n)
+	l.localIdx = make([]int32, n)
 	for v := 0; v < n; v++ {
 		l.subOf[v] = NoSubgraph
 		l.role[v] = RoleOutlier
 		l.proxyHost[v] = NoHost
+		l.localIdx[v] = -1
 		if !g.Alive(graph.VertexID(v)) {
 			l.role[v] = RoleDead
 		}
@@ -106,7 +108,8 @@ func New(g *graph.Graph, a algo.Algorithm, opt Options) *Layph {
 		all[v] = graph.VertexID(v)
 	}
 	l.recomputeRoles(all)
-	l.OfflineStats.ShortcutActivations += l.buildSubgraphs(subgraphList(l.subs))
+	scActs, _ := l.buildSubgraphs(subgraphList(l.subs))
+	l.OfflineStats.ShortcutActivations += scActs
 	l.OfflineStats.ShortcutCount = l.ShortcutCount()
 	l.OfflineStats.DenseSubgraphs = len(l.subs)
 	l.OfflineStats.Proxies = fn - n
@@ -157,29 +160,35 @@ func sortSubgraphs(subs []*Subgraph) {
 
 // buildSubgraphs (re)constructs each listed subgraph — member
 // classification, local frame, full shortcut deduction — and returns the
-// total F applications spent. The fan-out axis adapts to the work shape:
-// with several subgraphs, one pool task per subgraph (entries within each
-// deduced sequentially); with a single subgraph, the per-entry deductions
+// total F applications spent plus the number of pool tasks dispatched.
+// The fan-out axis adapts to the work shape: with several subgraphs, one
+// pool task per fused chunk of subgraphs (entries within each deduced
+// sequentially); with a single subgraph, the per-entry deductions
 // fan out instead. One level of fan-out either way keeps the pool's
 // busy-time accounting exact (no task ever blocks inside another task);
 // the pool's inline fallback would keep even accidental nesting
 // deadlock-free. Tasks write only their own subgraph and read shared
 // structure that is frozen for the duration of the fan-out.
-func (l *Layph) buildSubgraphs(subs []*Subgraph) int64 {
+func (l *Layph) buildSubgraphs(subs []*Subgraph) (int64, int64) {
 	if len(subs) == 1 {
 		s := subs[0]
 		l.classifyMembers(s)
 		l.buildLocalFrame(s)
-		return l.deduceShortcutsPar(s, true)
+		return l.deduceShortcutsPar(s, true), 1
 	}
-	acts := make([]int64, len(subs))
+	chunks := l.subgraphChunks(subs)
+	acts := make([]int64, len(chunks))
 	grp := l.pool.Group()
-	for i, s := range subs {
-		i, s := i, s
+	for i, ch := range chunks {
+		i, ch := i, ch
 		grp.Go(func() {
-			l.classifyMembers(s)
-			l.buildLocalFrame(s)
-			acts[i] = l.deduceShortcutsPar(s, false)
+			var a int64
+			for _, s := range ch {
+				l.classifyMembers(s)
+				l.buildLocalFrame(s)
+				a += l.deduceShortcutsPar(s, false)
+			}
+			acts[i] = a
 		})
 	}
 	grp.Wait()
@@ -187,7 +196,7 @@ func (l *Layph) buildSubgraphs(subs []*Subgraph) int64 {
 	for _, a := range acts {
 		total += a
 	}
-	return total
+	return total, int64(len(chunks))
 }
 
 // classifyMembers fills the subgraph's member/role lists from the current

@@ -89,7 +89,7 @@ func TestShortcutWeightsMatchLocalFixpoint(t *testing.T) {
 			for i := range dist {
 				dist[i] = sr.Zero()
 			}
-			for _, e := range lf.out[lf.idx[u]] {
+			for _, e := range lf.out[l.localIdx[u]] {
 				if e.W < dist[e.To] {
 					dist[e.To] = e.W
 				}
@@ -111,8 +111,10 @@ func TestShortcutWeightsMatchLocalFixpoint(t *testing.T) {
 					break
 				}
 			}
-			for _, sc := range append(append([]engine.WEdge(nil), s.ShortToBoundary[u]...), s.ShortToInternal[u]...) {
-				want := dist[lf.idx[sc.To]]
+			scs := append([]engine.WEdge(nil), l.ShortcutsToBoundary(s, u)...)
+			scs = append(scs, l.ShortcutsToInternal(s, u)...)
+			for _, sc := range scs {
+				want := dist[l.localIdx[sc.To]]
 				if math.Abs(sc.W-want) > 1e-9 {
 					t.Fatalf("sub %d entry %d: shortcut to %d weight %v, want %v", s.ID, u, sc.To, sc.W, want)
 				}

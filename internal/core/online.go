@@ -67,22 +67,24 @@ var debugFlatOnly = false
 // delta assignment.
 func (l *Layph) updateSum(applied *delta.Applied, d *layeredDiff, ph *metrics.Phases, st *inc.Stats) {
 	n := l.flatN()
+	sc := &l.scratch
 	// pending holds fresh revision messages not yet applied to any state;
 	// fromLocal holds boundary deltas the local upload runs already applied
 	// to their vertices (the skeleton run must propagate them without
 	// re-applying).
-	pending := make([]float64, n)
-	fromLocal := make([]float64, n)
+	pending := floatBuf(&sc.pending, n)
+	fromLocal := floatBuf(&sc.fromLocal, n)
 	// Entry caches (Equation 9) are deltas against the pre-update states:
 	// entries absorb both local-upload arrivals and skeleton arrivals, and
 	// the assignment phase replays their total delta through the
 	// entry→internal shortcuts.
-	xPre := append([]float64(nil), l.x...)
+	xPre := copyBuf(&sc.xPre, l.x)
 
 	ph.Time("upload", func() {
 		// Revision-message deduction: cancel old contributions over the old
 		// flat lists, compensate over the new ones.
-		for u, old := range d.oldLists {
+		for i, u := range d.oldSrc {
+			old := d.oldRows[i]
 			xu := l.x[u]
 			if xu != 0 {
 				for _, e := range old {
@@ -113,15 +115,21 @@ func (l *Layph) updateSum(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 		// revision messages addressed to its members and turns them into
 		// boundary deltas for the skeleton. Subgraphs own disjoint member
 		// sets and each task reads/writes pending, fromLocal and l.x only
-		// at its own members, so the fixpoints run as independent pool
+		// at its own members, so the fused chunks run as independent pool
 		// tasks; results are identical to sequential execution.
-		subs := subgraphList(d.affectedSubs)
-		st.SubgraphsParallel += int64(len(subs))
-		acts := make([]int64, len(subs))
+		chunks := l.subgraphChunks(subgraphList(d.affectedSubs))
+		st.SubgraphsParallel += int64(len(chunks))
+		acts := make([]int64, len(chunks))
 		grp := l.pool.Group()
-		for i, s := range subs {
-			i, s := i, s
-			grp.Go(func() { acts[i] = l.uploadSumSubgraph(s, pending, fromLocal) })
+		for i, ch := range chunks {
+			i, ch := i, ch
+			grp.Go(func() {
+				var a int64
+				for _, s := range ch {
+					a += l.uploadSumSubgraph(s, pending, fromLocal)
+				}
+				acts[i] = a
+			})
 		}
 		grp.Wait()
 		for _, a := range acts {
@@ -134,8 +142,8 @@ func (l *Layph) updateSum(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 		if debugFlatOnly {
 			frame = &engine.Frame{Out: l.flatOut}
 		}
-		m0 := make([]float64, n)
-		x0 := append([]float64(nil), l.x...)
+		m0 := floatBuf(&sc.m0, n)
+		x0 := copyBuf(&sc.xSnap, l.x)
 		any := false
 		for v := 0; v < n; v++ {
 			seed := pending[v] + fromLocal[v]
@@ -165,25 +173,28 @@ func (l *Layph) updateSum(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 		if debugFlatOnly {
 			return
 		}
-		// One task per subgraph: reads entry states (boundary vertices, not
-		// written here) and writes only its own internal vertices via the
-		// entry→internal shortcuts — disjoint across subgraphs.
-		subs := subgraphList(l.subs)
-		st.SubgraphsParallel += int64(len(subs))
-		acts := make([]int64, len(subs))
+		// One task per fused chunk: a task reads entry states (boundary
+		// vertices, not written here) and writes only its own subgraphs'
+		// internal vertices via the entry→internal shortcuts — disjoint
+		// across subgraphs, hence across chunks.
+		chunks := l.subgraphChunks(subgraphList(l.subs))
+		st.SubgraphsParallel += int64(len(chunks))
+		acts := make([]int64, len(chunks))
 		grp := l.pool.Group()
-		for i, s := range subs {
-			i, s := i, s
+		for i, ch := range chunks {
+			i, ch := i, ch
 			grp.Go(func() {
 				var a int64
-				for _, u := range s.Entries {
-					mu := l.x[u] - xPre[u]
-					if math.Abs(mu) <= l.tol {
-						continue
-					}
-					for _, sc := range s.ShortToInternal[u] {
-						l.x[sc.To] += mu * sc.W
-						a++
+				for _, s := range ch {
+					for _, u := range s.Entries {
+						mu := l.x[u] - xPre[u]
+						if math.Abs(mu) <= l.tol {
+							continue
+						}
+						for _, sc := range s.scToI[l.localIdx[u]] {
+							l.x[sc.To] += mu * sc.W
+							a++
+						}
 					}
 				}
 				acts[i] = a
@@ -196,7 +207,7 @@ func (l *Layph) updateSum(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 	})
 
 	// Dead vertices hold no state: clear correction residue parked on them.
-	for u := range d.oldLists {
+	for _, u := range d.oldSrc {
 		if !l.flatAlive(u) {
 			l.x[u] = 0
 		}
@@ -216,11 +227,15 @@ func (l *Layph) updateSum(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 func (l *Layph) uploadSumSubgraph(s *Subgraph, pending, fromLocal []float64) int64 {
 	lf := s.Local
 	k := lf.size()
-	x0 := make([]float64, k)
-	m0 := make([]float64, k)
+	if cap(lf.x0Buf) < k {
+		lf.x0Buf = make([]float64, k)
+		lf.m0Buf = make([]float64, k)
+	}
+	x0, m0 := lf.x0Buf[:k], lf.m0Buf[:k]
 	seeded := false
 	for i, v := range lf.ids {
 		x0[i] = l.x[v]
+		m0[i] = 0
 		if p := pending[v]; p != 0 {
 			// Fresh revision messages: the run applies them for the first
 			// time (no state back-out).
@@ -254,14 +269,21 @@ func (l *Layph) uploadSumSubgraph(s *Subgraph, pending, fromLocal []float64) int
 func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Phases, st *inc.Stats) {
 	n := l.flatN()
 	zero := l.sr.Zero()
-	tagged := make([]bool, n)
+	sc := &l.scratch
+	tagged := boolBuf(&sc.tagged, n)
 	var resets []graph.VertexID
-	repair := make(map[graph.VertexID]struct{})
+	sc.repair.reset(n)
 
 	var localChanged []graph.VertexID
 	var lupChanged []graph.VertexID
-	leftoverOffers := make(map[graph.VertexID]float64)
 	resetsBySub := make(map[int32]bool)
+	// Active subgraphs (filled during upload; lup-iteration consults the
+	// set to route the offer candidates the local fixpoints did not consume)
+	// and the dense offer store replacing the per-update offer maps:
+	// offerSet marks targets, offerVal carries the folded candidate.
+	active := make(map[int32]*Subgraph)
+	sc.offerSet.reset(n)
+	offerVal := filledBuf(&sc.offerVal, n, zero)
 
 	actsMark := func(name string, before int64) int64 {
 		l.LastActs[name] = st.Activations - before
@@ -286,7 +308,7 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 		for _, v := range applied.RemovedVertices {
 			tag(v)
 		}
-		for u := range d.oldLists {
+		for _, u := range d.oldSrc {
 			if !l.flatAlive(u) {
 				tag(u)
 			}
@@ -297,17 +319,14 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 			}
 		}
 		if len(queue) > 0 {
-			children := make(map[graph.VertexID][]graph.VertexID, n/4)
-			for v, p := range l.parent {
-				if p != engine.NoParent {
-					children[p] = append(children[p], graph.VertexID(v))
-				}
-			}
+			// CSR over the dependency forest: two counting passes instead
+			// of a per-parent map of child slices.
+			sc.depChildren(l.parent)
 			for len(queue) > 0 {
 				v := queue[0]
 				queue = queue[1:]
 				resets = append(resets, v)
-				for _, c := range children[v] {
+				for _, c := range sc.children(v) {
 					tag(c)
 				}
 			}
@@ -315,7 +334,7 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 		for _, v := range resets {
 			l.x[v] = zero
 			l.parent[v] = engine.NoParent
-			repair[v] = struct{}{}
+			sc.repair.add(v)
 			if c := l.subOf[v]; c != NoSubgraph {
 				resetsBySub[c] = true
 			}
@@ -323,7 +342,6 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 		st.Resets = len(resets)
 
 		// Active subgraphs: structure-affected plus any holding resets.
-		active := make(map[int32]*Subgraph, len(d.affectedSubs))
 		for c, s := range d.affectedSubs {
 			active[c] = s
 		}
@@ -333,8 +351,11 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 			}
 		}
 
-		// Direct compensation candidates from added flat edges.
-		addedOffer := make(map[graph.VertexID]float64)
+		// Direct compensation candidates from added flat edges, folded into
+		// the dense offer store. An offer targeting a member of an active
+		// subgraph is consumed by that subgraph's local task (concurrent
+		// tasks only read the store, at their own members); the rest target
+		// skeleton vertices and are picked up by the skeleton phase.
 		for _, e := range d.added {
 			if !l.flatAlive(e.to) || l.x[e.from] == zero {
 				continue
@@ -344,30 +365,9 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 			if offer == zero {
 				continue
 			}
-			if cur, ok := addedOffer[e.to]; !ok || l.sr.Plus(cur, offer) != cur {
-				addedOffer[e.to] = offer
+			if sc.offerSet.add(e.to) || l.sr.Plus(offerVal[e.to], offer) != offerVal[e.to] {
+				offerVal[e.to] = offer
 			}
-		}
-
-		// Partition the candidates: an offer targeting a member of an
-		// active subgraph is consumed by that subgraph's local task (the
-		// partition replaces the shared-map deletes of the sequential
-		// scheme, so concurrent tasks never touch a common map); the rest
-		// target skeleton vertices and are handled in the skeleton phase.
-		offersBySub := make(map[int32]map[graph.VertexID]float64)
-		for v, offer := range addedOffer {
-			if c := l.subOf[v]; c != NoSubgraph {
-				if _, isActive := active[c]; isActive {
-					m := offersBySub[c]
-					if m == nil {
-						m = make(map[graph.VertexID]float64)
-						offersBySub[c] = m
-					}
-					m[v] = offer
-					continue
-				}
-			}
-			leftoverOffers[v] = offer
 		}
 
 		// Snapshot of the post-reset states: concurrent subgraph tasks
@@ -377,20 +377,25 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 		// under the monotone min semiring: a boundary member whose value
 		// improves during upload lands in localChanged and is
 		// re-propagated by the skeleton iteration and assignment phases.
-		xSnap := append([]float64(nil), l.x...)
-		subs := subgraphList(active)
-		st.SubgraphsParallel += int64(len(subs))
+		xSnap := copyBuf(&sc.xSnap, l.x)
+		chunks := l.subgraphChunks(subgraphList(active))
+		st.SubgraphsParallel += int64(len(chunks))
 		type upRes struct {
 			changed []graph.VertexID
 			acts    int64
 		}
-		results := make([]upRes, len(subs))
+		results := make([]upRes, len(chunks))
 		grp := l.pool.Group()
-		for i, s := range subs {
-			i, s := i, s
+		for i, cs := range chunks {
+			i, cs := i, cs
 			grp.Go(func() {
-				ch, a := l.uploadMinSubgraph(s, tagged, xSnap, offersBySub[s.ID])
-				results[i] = upRes{changed: ch, acts: a}
+				var r upRes
+				for _, s := range cs {
+					ch, a := l.uploadMinSubgraph(s, tagged, xSnap, offerVal, &sc.offerSet)
+					r.changed = append(r.changed, ch...)
+					r.acts += a
+				}
+				results[i] = r
 			})
 		}
 		grp.Wait()
@@ -398,24 +403,17 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 			st.Activations += r.acts
 			localChanged = append(localChanged, r.changed...)
 			for _, v := range r.changed {
-				repair[v] = struct{}{}
+				sc.repair.add(v)
 			}
 		}
 	})
 	mark = actsMark("upload", mark)
 
 	ph.Time("lup-iteration", func() {
-		m0 := make([]float64, n)
-		for i := range m0 {
-			m0[i] = zero
-		}
-		inActive := make(map[graph.VertexID]struct{})
-		var act []graph.VertexID
+		m0 := filledBuf(&sc.m0, n, zero)
+		sc.inActive.reset(n)
 		activate := func(v graph.VertexID) {
-			if _, ok := inActive[v]; !ok {
-				inActive[v] = struct{}{}
-				act = append(act, v)
-			}
+			sc.inActive.add(v)
 		}
 		// Re-seed tagged skeleton vertices from intact skeleton in-edges and
 		// root messages.
@@ -450,45 +448,53 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 				activate(v)
 			}
 		}
-		// Remaining direct candidates on skeleton targets.
-		for v, offer := range leftoverOffers {
+		// Remaining direct candidates on skeleton targets: offers whose
+		// target sits in an active subgraph were already consumed by that
+		// subgraph's local task.
+		for _, v := range sc.offerSet.list {
+			if c := l.subOf[v]; c != NoSubgraph {
+				if _, isActive := active[c]; isActive {
+					continue
+				}
+			}
 			if !l.flatAlive(v) || !l.onUp(v) {
 				continue
 			}
+			offer := offerVal[v]
 			if l.sr.Plus(l.x[v], offer) != l.x[v] {
 				m0[v] = l.sr.Plus(m0[v], offer)
 				activate(v)
 			}
 		}
-		if len(act) == 0 {
+		if len(sc.inActive.list) == 0 {
 			return
 		}
 		res := engine.Run(&engine.Frame{Out: l.upOut}, l.sr, l.x, m0, engine.Options{
 			Workers:       l.opt.Workers,
 			Tolerance:     l.tol,
-			InitialActive: act,
+			InitialActive: sc.inActive.list,
 			TrackChanged:  true,
 		})
 		l.x = res.X
 		st.Activations += res.Activations
 		st.Rounds = res.Rounds
 		for _, v := range res.Changed {
-			repair[v] = struct{}{}
+			sc.repair.add(v)
 		}
 		lupChanged = res.Changed
 	})
 	mark = actsMark("lup-iteration", mark)
 
 	ph.Time("assignment", func() {
-		changedUp := make(map[graph.VertexID]struct{}, len(lupChanged)+len(localChanged))
+		sc.changedUp.reset(n)
 		for _, v := range lupChanged {
-			changedUp[v] = struct{}{}
+			sc.changedUp.add(v)
 		}
 		// Entries are absorbing in local runs, so an entry improved during
 		// upload also needs its shortcuts replayed.
 		for _, v := range localChanged {
 			if l.role[v].IsEntry() {
-				changedUp[v] = struct{}{}
+				sc.changedUp.add(v)
 			}
 		}
 		// Replay entry→internal shortcuts of the triggered subgraphs, one
@@ -502,7 +508,7 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 			trigger := resetsBySub[s.ID]
 			if !trigger {
 				for _, u := range s.Entries {
-					if _, ok := changedUp[u]; ok {
+					if sc.changedUp.has(u) {
 						trigger = true
 						break
 					}
@@ -512,27 +518,30 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 				triggered = append(triggered, s)
 			}
 		}
-		st.SubgraphsParallel += int64(len(triggered))
+		chunks := l.subgraphChunks(triggered)
+		st.SubgraphsParallel += int64(len(chunks))
 		type asgRes struct {
 			repaired []graph.VertexID
 			acts     int64
 		}
-		results := make([]asgRes, len(triggered))
+		results := make([]asgRes, len(chunks))
 		grp := l.pool.Group()
-		for i, s := range triggered {
-			i, s := i, s
+		for i, cs := range chunks {
+			i, cs := i, cs
 			grp.Go(func() {
 				var r asgRes
-				for _, u := range s.Entries {
-					if l.x[u] == zero {
-						continue
-					}
-					for _, sc := range s.ShortToInternal[u] {
-						cand := l.sr.Times(l.x[u], sc.W)
-						r.acts++
-						if l.sr.Plus(l.x[sc.To], cand) != l.x[sc.To] {
-							l.x[sc.To] = cand
-							r.repaired = append(r.repaired, sc.To)
+				for _, s := range cs {
+					for _, u := range s.Entries {
+						if l.x[u] == zero {
+							continue
+						}
+						for _, e := range s.scToI[l.localIdx[u]] {
+							cand := l.sr.Times(l.x[u], e.W)
+							r.acts++
+							if l.sr.Plus(l.x[e.To], cand) != l.x[e.To] {
+								l.x[e.To] = cand
+								r.repaired = append(r.repaired, e.To)
+							}
 						}
 					}
 				}
@@ -543,7 +552,7 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 		for _, r := range results {
 			st.Activations += r.acts
 			for _, v := range r.repaired {
-				repair[v] = struct{}{}
+				sc.repair.add(v)
 			}
 		}
 	})
@@ -554,10 +563,7 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 	// States are final by now and each repair writes only parent[v], so the
 	// scan fans out over the pool in chunks (per-vertex tasks would drown
 	// in scheduling overhead).
-	repList := make([]graph.VertexID, 0, len(repair))
-	for v := range repair {
-		repList = append(repList, v)
-	}
+	repList := sc.repair.list
 	l.pool.ForEachChunk(len(repList), 512, func(lo, hi int) {
 		for _, v := range repList[lo:hi] {
 			l.repairParent(v)
@@ -573,13 +579,17 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 // Safe to run concurrently with other subgraphs' uploads: offer sources
 // are read from xRead, the post-reset snapshot (identical to the live
 // states for this subgraph's own members, which no other task writes),
+// the shared offer store is only read (at this subgraph's own members),
 // and l.x is written only at this subgraph's members.
-func (l *Layph) uploadMinSubgraph(s *Subgraph, tagged []bool, xRead []float64, offers map[graph.VertexID]float64) (changed []graph.VertexID, acts int64) {
+func (l *Layph) uploadMinSubgraph(s *Subgraph, tagged []bool, xRead, offerVal []float64, offerSet *vset) (changed []graph.VertexID, acts int64) {
 	zero := l.sr.Zero()
 	lf := s.Local
 	k := lf.size()
-	x0 := make([]float64, k)
-	m0 := make([]float64, k)
+	if cap(lf.x0Buf) < k {
+		lf.x0Buf = make([]float64, k)
+		lf.m0Buf = make([]float64, k)
+	}
+	x0, m0 := lf.x0Buf[:k], lf.m0Buf[:k]
 	var act []graph.VertexID
 	for i, v := range lf.ids {
 		x0[i] = xRead[v]
@@ -602,8 +612,8 @@ func (l *Layph) uploadMinSubgraph(s *Subgraph, tagged []bool, xRead []float64, o
 				}
 			}
 		}
-		if offer, ok := offers[v]; ok {
-			m0[i] = l.sr.Plus(m0[i], offer)
+		if offerSet.has(v) {
+			m0[i] = l.sr.Plus(m0[i], offerVal[v])
 		}
 		if m0[i] != zero && l.sr.Plus(x0[i], m0[i]) != x0[i] {
 			act = append(act, graph.VertexID(i))

@@ -134,6 +134,7 @@ func (l *Layph) allocProxy(reg map[proxyKey]graph.VertexID, sub int32, host grap
 	l.role = append(l.role, RoleInternal) // refined by recomputeRoles
 	l.proxyHost = append(l.proxyHost, host)
 	l.proxyAlive = append(l.proxyAlive, true)
+	l.localIdx = append(l.localIdx, -1)
 	l.flatOut = append(l.flatOut, nil)
 	l.flatIn = append(l.flatIn, nil)
 	l.upOut = append(l.upOut, nil)
@@ -296,11 +297,14 @@ func (l *Layph) recomputeRoles(vs []graph.VertexID) {
 }
 
 // buildLocalFrame projects the subgraph's internal flat edges onto compact
-// IDs.
+// IDs. It (re)assigns the members' slots in the shared localIdx vector;
+// concurrent builds of different subgraphs write disjoint slots because
+// memberships are disjoint.
 func (l *Layph) buildLocalFrame(s *Subgraph) {
-	lf := &localFrame{idx: make(map[graph.VertexID]int32, len(s.Members))}
+	lf := &localFrame{ids: make([]graph.VertexID, 0, len(s.Members))}
+	s.Local = lf
 	for _, v := range s.Members {
-		lf.idx[v] = int32(len(lf.ids))
+		l.localIdx[v] = int32(len(lf.ids))
 		lf.ids = append(lf.ids, v)
 	}
 	lf.out = make([][]engine.WEdge, len(lf.ids))
@@ -308,10 +312,11 @@ func (l *Layph) buildLocalFrame(s *Subgraph) {
 	lf.absorbIn = make([][]engine.WEdge, len(lf.ids))
 	for ci, v := range lf.ids {
 		for _, e := range l.flatOut[v] {
-			if tj, ok := lf.idx[e.To]; ok {
+			if tj, ok := l.compactID(s, e.To); ok {
 				lf.out[ci] = append(lf.out[ci], engine.WEdge{To: graph.VertexID(tj), W: e.W})
 			}
 		}
+		lf.edges += len(lf.out[ci])
 		if !l.role[v].IsEntry() {
 			lf.absorbOut[ci] = lf.out[ci]
 		}
@@ -321,7 +326,6 @@ func (l *Layph) buildLocalFrame(s *Subgraph) {
 			lf.absorbIn[e.To] = append(lf.absorbIn[e.To], engine.WEdge{To: graph.VertexID(ci), W: e.W})
 		}
 	}
-	s.Local = lf
 }
 
 // deduceShortcuts runs Equation (6) for every entry vertex of the subgraph:
@@ -338,15 +342,15 @@ func (l *Layph) deduceShortcuts(s *Subgraph) int64 {
 // so entry deductions stay sequential inside the task — one level of
 // fan-out keeps pool busy-time accounting exact (see buildSubgraphs).
 func (l *Layph) deduceShortcutsPar(s *Subgraph, parallelEntries bool) int64 {
-	s.ShortToBoundary = make(map[graph.VertexID][]engine.WEdge, len(s.Entries))
-	s.ShortToInternal = make(map[graph.VertexID][]engine.WEdge, len(s.Entries))
 	lf := s.Local
 	k := lf.size()
 	var acts int64
 	zero := l.sr.Zero()
-	s.scVec = make(map[graph.VertexID][]float64, len(s.Entries))
+	s.scToB = make([][]engine.WEdge, k)
+	s.scToI = make([][]engine.WEdge, k)
+	s.scVec = make([][]float64, k)
 	if l.sr.Idempotent() {
-		s.scParent = make(map[graph.VertexID][]graph.VertexID, len(s.Entries))
+		s.scParent = make([][]graph.VertexID, k)
 	} else {
 		s.scParent = nil
 	}
@@ -368,7 +372,7 @@ func (l *Layph) deduceShortcutsPar(s *Subgraph, parallelEntries bool) int64 {
 		acts int64
 	}
 	deduceEntry := func(u graph.VertexID) entryRes {
-		cu := lf.idx[u]
+		cu := l.localIdx[u]
 		x0 := make([]float64, k)
 		m0 := make([]float64, k)
 		for j := range x0 {
@@ -409,10 +413,11 @@ func (l *Layph) deduceShortcutsPar(s *Subgraph, parallelEntries bool) int64 {
 		}
 	}
 	for i, u := range s.Entries {
+		cu := l.localIdx[u]
 		acts += results[i].acts
-		s.scVec[u] = results[i].vec
+		s.scVec[cu] = results[i].vec
 		if s.scParent != nil {
-			s.scParent[u] = results[i].par
+			s.scParent[cu] = results[i].par
 		}
 		l.rebuildShortcutLists(s, u)
 	}
@@ -428,7 +433,7 @@ func (l *Layph) scWitness(s *Subgraph, u graph.VertexID, vec []float64, ci graph
 		return engine.NoParent
 	}
 	lf := s.Local
-	cu := lf.idx[u]
+	cu := l.localIdx[u]
 	eps := 1e-9 * (1 + absF(vec[ci]))
 	for _, e := range lf.out[cu] {
 		if e.To == ci && absF(l.sr.Times(l.sr.One(), e.W)-vec[ci]) <= eps {
@@ -454,13 +459,14 @@ func absF(x float64) float64 {
 	return x
 }
 
-// rebuildShortcutLists re-derives entry u's ShortTo* lists from its
+// rebuildShortcutLists re-derives entry u's shortcut lists from its
 // memoized vector.
 func (l *Layph) rebuildShortcutLists(s *Subgraph, u graph.VertexID) {
 	zero := l.sr.Zero()
 	lf := s.Local
+	cu := l.localIdx[u]
 	var toB, toI []engine.WEdge
-	for ci, w := range s.scVec[u] {
+	for ci, w := range s.scVec[cu] {
 		if w == zero {
 			continue
 		}
@@ -480,16 +486,8 @@ func (l *Layph) rebuildShortcutLists(s *Subgraph, u graph.VertexID) {
 			toB = append(toB, sc)
 		}
 	}
-	if toB == nil {
-		delete(s.ShortToBoundary, u)
-	} else {
-		s.ShortToBoundary[u] = toB
-	}
-	if toI == nil {
-		delete(s.ShortToInternal, u)
-	} else {
-		s.ShortToInternal[u] = toI
-	}
+	s.scToB[cu] = toB
+	s.scToI[cu] = toI
 }
 
 // updateShortcutsIncremental absorbs internal edge diffs into every entry's
@@ -503,39 +501,48 @@ func (l *Layph) updateShortcutsIncremental(s *Subgraph, added, removed []flatEdg
 	var acts int64
 
 	// Map diffs to compact IDs; rebuild the compact adjacency rows of the
-	// changed sources first.
+	// changed sources first. changedSrc is a k-sized scoreboard, not a
+	// map: diffs arrive in deterministic order and k is subgraph-sized.
 	var cAdded, cRemoved []cDiff
-	changedSrc := make(map[graph.VertexID]struct{})
+	changedSrc := make([]bool, lf.size())
+	var changedList []graph.VertexID
+	markSrc := func(cf graph.VertexID) {
+		if !changedSrc[cf] {
+			changedSrc[cf] = true
+			changedList = append(changedList, cf)
+		}
+	}
 	for _, e := range added {
-		cf, okF := lf.idx[e.from]
-		ct, okT := lf.idx[e.to]
+		cf, okF := l.compactID(s, e.from)
+		ct, okT := l.compactID(s, e.to)
 		if okF && okT {
 			cAdded = append(cAdded, cDiff{graph.VertexID(cf), graph.VertexID(ct), e.w})
-			changedSrc[graph.VertexID(cf)] = struct{}{}
+			markSrc(graph.VertexID(cf))
 		}
 	}
 	for _, e := range removed {
-		cf, okF := lf.idx[e.from]
-		ct, okT := lf.idx[e.to]
+		cf, okF := l.compactID(s, e.from)
+		ct, okT := l.compactID(s, e.to)
 		if okF && okT {
 			cRemoved = append(cRemoved, cDiff{graph.VertexID(cf), graph.VertexID(ct), e.w})
-			changedSrc[graph.VertexID(cf)] = struct{}{}
+			markSrc(graph.VertexID(cf))
 		}
 	}
 	if len(cAdded) == 0 && len(cRemoved) == 0 {
 		return 0
 	}
-	for cf := range changedSrc {
+	for _, cf := range changedList {
 		v := lf.ids[cf]
 		var row []engine.WEdge
 		for _, e := range l.flatOut[v] {
-			if tj, ok := lf.idx[e.To]; ok {
+			if tj, ok := l.compactID(s, e.To); ok {
 				row = append(row, engine.WEdge{To: graph.VertexID(tj), W: e.W})
 			}
 		}
 		// Update absorbIn by diffing the old row.
 		oldRow := lf.out[cf]
 		lf.out[cf] = row
+		lf.edges += len(row) - len(oldRow)
 		isEntry := l.role[v].IsEntry()
 		if !isEntry {
 			for _, e := range oldRow {
@@ -550,8 +557,8 @@ func (l *Layph) updateShortcutsIncremental(s *Subgraph, added, removed []flatEdg
 
 	frame := &engine.Frame{Out: lf.absorbOut}
 	for _, u := range s.Entries {
-		cu := lf.idx[u]
-		vec := s.scVec[u]
+		cu := l.localIdx[u]
+		vec := s.scVec[cu]
 		if vec == nil {
 			continue
 		}
@@ -606,7 +613,7 @@ func (l *Layph) updateEntrySum(s *Subgraph, u graph.VertexID, cu int32, vec []fl
 	}
 	res := engine.Run(frame, l.sr, vec, pending, engine.Options{Workers: 1, Tolerance: l.scTol()})
 	acts += res.Activations
-	s.scVec[u] = res.X
+	s.scVec[cu] = res.X
 	l.rebuildShortcutLists(s, u)
 	return acts
 }
@@ -623,14 +630,17 @@ func (l *Layph) updateEntryMin(s *Subgraph, u graph.VertexID, cu int32, vec []fl
 	lf := s.Local
 	k := len(vec)
 	zero := l.sr.Zero()
-	par := s.scParent[u]
+	par := s.scParent[cu]
 	var acts int64
 
-	tagged := make(map[graph.VertexID]struct{})
+	// Everything below runs in compact-ID space, so k-sized scoreboards
+	// replace maps: cheaper, and iteration order is the insertion order of
+	// the queues, which is deterministic.
+	tagged := make([]bool, k)
 	var queue []graph.VertexID
 	tag := func(c graph.VertexID) {
-		if _, ok := tagged[c]; !ok {
-			tagged[c] = struct{}{}
+		if !tagged[c] {
+			tagged[c] = true
 			queue = append(queue, c)
 		}
 	}
@@ -641,7 +651,7 @@ func (l *Layph) updateEntryMin(s *Subgraph, u graph.VertexID, cu int32, vec []fl
 	}
 	var resets []graph.VertexID
 	if len(queue) > 0 {
-		children := make(map[graph.VertexID][]graph.VertexID)
+		children := make([][]graph.VertexID, k)
 		for c, p := range par {
 			if p != engine.NoParent {
 				children[p] = append(children[p], graph.VertexID(c))
@@ -666,10 +676,10 @@ func (l *Layph) updateEntryMin(s *Subgraph, u graph.VertexID, cu int32, vec []fl
 		pending[i] = zero
 	}
 	var act []graph.VertexID
-	inAct := make(map[graph.VertexID]struct{})
+	inAct := make([]bool, k)
 	activate := func(c graph.VertexID) {
-		if _, ok := inAct[c]; !ok {
-			inAct[c] = struct{}{}
+		if !inAct[c] {
+			inAct[c] = true
 			act = append(act, c)
 		}
 	}
@@ -684,7 +694,7 @@ func (l *Layph) updateEntryMin(s *Subgraph, u graph.VertexID, cu int32, vec []fl
 		}
 		for _, ie := range lf.absorbIn[c] {
 			a := ie.To
-			if _, isTag := tagged[a]; isTag || vec[a] == zero {
+			if tagged[a] || vec[a] == zero {
 				continue
 			}
 			offer := l.sr.Times(vec[a], ie.W)
@@ -723,7 +733,7 @@ func (l *Layph) updateEntryMin(s *Subgraph, u graph.VertexID, cu int32, vec []fl
 		Workers: 1, Tolerance: l.scTol(), InitialActive: act, TrackChanged: true,
 	})
 	acts += res.Activations
-	s.scVec[u] = res.X
+	s.scVec[cu] = res.X
 	// Repair compact parents for everything that moved.
 	for _, c := range res.Changed {
 		par[c] = l.scWitness(s, u, res.X, c)
@@ -752,7 +762,7 @@ func (l *Layph) computeUpOut(v graph.VertexID) []engine.WEdge {
 	}
 	if l.role[v].IsEntry() {
 		if s := l.subs[sv]; s != nil {
-			out = append(out, s.ShortToBoundary[v]...)
+			out = append(out, l.ShortcutsToBoundary(s, v)...)
 		}
 	}
 	return out

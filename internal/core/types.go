@@ -98,12 +98,6 @@ type Subgraph struct {
 	// Local is the compact message-passing frame over Members' internal
 	// edges; shortcut deduction and upload fixpoints run on it.
 	Local *localFrame
-	// ShortToBoundary maps each entry to its shortcuts targeting boundary
-	// vertices (these become Lup edges); ShortToInternal targets internal
-	// vertices (these connect the layers). Weights are semiring weights
-	// deduced per Equation (6).
-	ShortToBoundary map[graph.VertexID][]engine.WEdge
-	ShortToInternal map[graph.VertexID][]engine.WEdge
 
 	// origMembers are the community's original vertices (kept across
 	// rebuilds, filtered for liveness); proxies are this subgraph's live
@@ -111,25 +105,70 @@ type Subgraph struct {
 	origMembers []graph.VertexID
 	proxies     []graph.VertexID
 
+	// Shortcut storage, indexed by the entry's compact ID (only entry
+	// slots are populated): scToB[cu] holds entry Local.ids[cu]'s
+	// shortcuts targeting boundary vertices (these become Lup edges),
+	// scToI[cu] those targeting internal vertices (these connect the
+	// layers). Weights are semiring weights deduced per Equation (6).
+	// Dense slices instead of per-entry maps keep the upload/assignment
+	// hot paths free of map lookups; external callers go through
+	// Layph.ShortcutsToBoundary / ShortcutsToInternal.
+	scToB [][]engine.WEdge
+	scToI [][]engine.WEdge
 	// Memoized per-entry shortcut state for incremental maintenance
-	// (Section IV-B): scVec[u] holds the local fixpoint values over compact
-	// IDs; scParent[u] (idempotent algorithms only) the compact dependency
-	// parents, so that internal edge changes are absorbed with revision
-	// messages instead of full re-deduction.
-	scVec    map[graph.VertexID][]float64
-	scParent map[graph.VertexID][]graph.VertexID
+	// (Section IV-B): scVec[cu] holds the local fixpoint values over
+	// compact IDs; scParent[cu] (idempotent algorithms only) the compact
+	// dependency parents, so that internal edge changes are absorbed with
+	// revision messages instead of full re-deduction.
+	scVec    [][]float64
+	scParent [][]graph.VertexID
 }
 
 // NumShortcuts returns the total shortcut count of the subgraph.
 func (s *Subgraph) NumShortcuts() int {
 	n := 0
-	for _, l := range s.ShortToBoundary {
+	for _, l := range s.scToB {
 		n += len(l)
 	}
-	for _, l := range s.ShortToInternal {
+	for _, l := range s.scToI {
 		n += len(l)
 	}
 	return n
+}
+
+// compactID returns v's compact index within subgraph s, or (-1, false)
+// when v is not a current member. The subOf gate comes first: during
+// parallel per-subgraph rebuilds it keeps a task from reading localIdx
+// slots another task owns (memberships are disjoint and subOf is frozen
+// while tasks are in flight). The ids check then rejects stale slots of
+// dead ex-members whose subOf still points here.
+func (l *Layph) compactID(s *Subgraph, v graph.VertexID) (int32, bool) {
+	if int(v) >= len(l.subOf) || l.subOf[v] != s.ID || s.Local == nil {
+		return -1, false
+	}
+	ci := l.localIdx[v]
+	if ci >= 0 && int(ci) < len(s.Local.ids) && s.Local.ids[ci] == v {
+		return ci, true
+	}
+	return -1, false
+}
+
+// ShortcutsToBoundary returns entry u's shortcuts to boundary vertices of s
+// (nil for non-entries). The slice is owned by the engine.
+func (l *Layph) ShortcutsToBoundary(s *Subgraph, u graph.VertexID) []engine.WEdge {
+	if cu, ok := l.compactID(s, u); ok && int(cu) < len(s.scToB) {
+		return s.scToB[cu]
+	}
+	return nil
+}
+
+// ShortcutsToInternal returns entry u's shortcuts to internal vertices of s
+// (nil for non-entries). The slice is owned by the engine.
+func (l *Layph) ShortcutsToInternal(s *Subgraph, u graph.VertexID) []engine.WEdge {
+	if cu, ok := l.compactID(s, u); ok && int(cu) < len(s.scToI) {
+		return s.scToI[cu]
+	}
+	return nil
 }
 
 // localFrame is a compact-ID projection of a subgraph's internal edges.
@@ -142,11 +181,17 @@ func (s *Subgraph) NumShortcuts() int {
 // counting in the sum semiring). absorbIn mirrors absorbOut for the
 // incremental shortcut updater's offer scans.
 type localFrame struct {
-	idx       map[graph.VertexID]int32 // global -> compact
-	ids       []graph.VertexID         // compact -> global
-	out       [][]engine.WEdge         // full internal adjacency
-	absorbOut [][]engine.WEdge         // adjacency with absorbing entries
-	absorbIn  [][]engine.WEdge         // reverse of absorbOut (To = source)
+	ids       []graph.VertexID // compact -> global (global -> compact is Layph.localIdx)
+	out       [][]engine.WEdge // full internal adjacency
+	absorbOut [][]engine.WEdge // adjacency with absorbing entries
+	absorbIn  [][]engine.WEdge // reverse of absorbOut (To = source)
+	// edges counts the internal adjacency's entries; the chunked task
+	// fusion sizes pool tasks by it.
+	edges int
+	// x0Buf/m0Buf seed the per-subgraph upload fixpoints, reused across
+	// updates: a subgraph is processed by at most one pool task at a time
+	// and engine.Run copies its inputs, so reuse is race-free.
+	x0Buf, m0Buf []float64
 }
 
 func (lf *localFrame) size() int { return len(lf.ids) }
@@ -181,6 +226,18 @@ type Options struct {
 	// in LastCheck. Testing/debugging aid; costs a full structure scan
 	// per update.
 	SelfCheck bool
+	// FusionChunksPerWorker tunes chunked task fusion: lower-layer
+	// fan-outs pack the touched subgraphs into about this many
+	// edge-weight-balanced chunks per pool worker instead of one task per
+	// subgraph (0 = default 4). Higher values mean finer-grained tasks.
+	FusionChunksPerWorker int
+}
+
+func (o Options) chunksPerWorker() int {
+	if o.FusionChunksPerWorker > 0 {
+		return o.FusionChunksPerWorker
+	}
+	return 4
 }
 
 func (o Options) replication() int {
@@ -214,6 +271,11 @@ type Layph struct {
 	role       []Role
 	proxyHost  []graph.VertexID // NoHost for non-proxies
 	proxyAlive []bool
+	// localIdx maps a flat vertex to its compact index inside its own
+	// subgraph's local frame (-1 outside any frame). One shared dense
+	// vector works because subgraph memberships are disjoint; staleness
+	// after membership changes is caught by compactID's ids check.
+	localIdx   []int32
 	entryProxy map[proxyKey]graph.VertexID
 	exitProxy  map[proxyKey]graph.VertexID
 
@@ -230,6 +292,11 @@ type Layph struct {
 	// origCap is the size of the original-vertex segment of the flat ID
 	// space; proxies occupy [origCap, flatN).
 	origCap int
+
+	// scratch holds per-update working buffers reused across Update calls
+	// (dense sets and O(n) vectors) so steady-state batches stop paying
+	// per-vertex map allocations.
+	scratch updScratch
 
 	// OfflineStats records construction + initial batch run cost (Fig 11b);
 	// LastPhases records the most recent Update's per-phase runtime (Fig 7);

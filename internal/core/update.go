@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"layph/internal/delta"
 	"layph/internal/engine"
 	"layph/internal/graph"
@@ -21,9 +23,12 @@ import (
 //     revision-message deduction, and
 //   - refreshes the upper-layer skeleton for the dirty vertices.
 type layeredDiff struct {
-	// oldLists snapshots pre-update flat out-lists of touched sources (the
-	// non-idempotent scheme cancels old contributions from them).
-	oldLists map[graph.VertexID][]engine.WEdge
+	// oldSrc/oldRows snapshot pre-update flat out-lists of touched sources
+	// in first-touch order (the non-idempotent scheme cancels old
+	// contributions from them). Parallel slices, scratch-backed: valid
+	// only until the next Update call.
+	oldSrc  []graph.VertexID
+	oldRows [][]engine.WEdge
 	// added/removed are flat-level edge diffs with semiring weights.
 	added   []flatEdge
 	removed []flatEdge
@@ -48,20 +53,23 @@ type flatEdge struct {
 
 func (l *Layph) layeredUpdate(applied *delta.Applied) *layeredDiff {
 	d := &layeredDiff{
-		oldLists:     make(map[graph.VertexID][]engine.WEdge),
 		affectedSubs: make(map[int32]*Subgraph),
 		rebuiltSubs:  make(map[int32]*Subgraph),
 	}
 	l.growForNewVertices(applied)
+	sc := &l.scratch
+	sc.touched.reset(l.flatN())
+	sc.dirtyRoles.reset(l.flatN())
+	sc.oldSeen.reset(l.flatN())
+	sc.oldRows = sc.oldRows[:0]
 
 	// Pass 1: refresh the flat lists of sources whose out-edges (or, for
 	// degree-dependent weights, out-weights) changed: sources of changed
 	// edges, removed vertices, added vertices, and the entry proxies that
 	// carry a changed cross edge on behalf of their host.
-	touched := make(map[graph.VertexID]struct{})
 	markTouched := func(v graph.VertexID) {
 		if int(v) < l.flatN() {
-			touched[v] = struct{}{}
+			sc.touched.add(v)
 		}
 	}
 	subOfSafe := func(v graph.VertexID) int32 {
@@ -77,7 +85,11 @@ func (l *Layph) layeredUpdate(applied *delta.Applied) *layeredDiff {
 	// Entry proxies inherit their host's degree-dependent edge weights, so
 	// any change to a host's out-list dirties every entry proxy replicating
 	// it — in every subgraph, not just the one the changed edge targets.
-	hostProxies := make(map[graph.VertexID][]graph.VertexID)
+	if sc.hostProxies == nil {
+		sc.hostProxies = make(map[graph.VertexID][]graph.VertexID)
+	}
+	clear(sc.hostProxies)
+	hostProxies := sc.hostProxies
 	for k, p := range l.entryProxy {
 		if l.proxyAlive[p] {
 			hostProxies[k.host] = append(hostProxies[k.host], p)
@@ -105,28 +117,27 @@ func (l *Layph) layeredUpdate(applied *delta.Applied) *layeredDiff {
 		markTouched(v)
 	}
 
-	dirtyRoles := make(map[graph.VertexID]struct{})
 	refresh := func(v graph.VertexID) {
 		old, added, removed := l.refreshFlatVertex(v)
 		// Keep the FIRST (true pre-batch) list if v is refreshed twice —
 		// rebuilds reroute proxies, forcing a second pass; the sum-scheme
 		// corrections must cancel against the pre-batch contributions.
-		if _, seen := d.oldLists[v]; !seen {
-			d.oldLists[v] = old
+		if sc.oldSeen.add(v) {
+			sc.oldRows = append(sc.oldRows, old)
 		}
 		for _, e := range added {
 			d.added = append(d.added, flatEdge{from: v, to: e.To, w: e.W})
-			dirtyRoles[e.To] = struct{}{}
+			sc.dirtyRoles.add(e.To)
 		}
 		for _, e := range removed {
 			d.removed = append(d.removed, flatEdge{from: v, to: e.To, w: e.W})
 			if int(e.To) < l.flatN() {
-				dirtyRoles[e.To] = struct{}{}
+				sc.dirtyRoles.add(e.To)
 			}
 		}
-		dirtyRoles[v] = struct{}{}
+		sc.dirtyRoles.add(v)
 	}
-	for v := range touched {
+	for _, v := range sc.touched.list {
 		refresh(v)
 	}
 
@@ -148,16 +159,17 @@ func (l *Layph) layeredUpdate(applied *delta.Applied) *layeredDiff {
 			}
 		}
 	}
-	// Role flips among diff endpoints.
-	roleCands := make([]graph.VertexID, 0, len(dirtyRoles))
-	oldRoles := make(map[graph.VertexID]Role, len(dirtyRoles))
-	for v := range dirtyRoles {
-		roleCands = append(roleCands, v)
-		oldRoles[v] = l.role[v]
+	// Role flips among diff endpoints. roleCands is the current dirtyRoles
+	// prefix (capacity-clamped: the set keeps growing below).
+	nCands := len(sc.dirtyRoles.list)
+	roleCands := sc.dirtyRoles.list[:nCands:nCands]
+	sc.oldRoles = sc.oldRoles[:0]
+	for _, v := range roleCands {
+		sc.oldRoles = append(sc.oldRoles, l.role[v])
 	}
 	l.recomputeRoles(roleCands)
-	for _, v := range roleCands {
-		if l.role[v] != oldRoles[v] {
+	for i, v := range roleCands {
+		if l.role[v] != sc.oldRoles[i] {
 			markRebuild(subOfSafe(v))
 		}
 	}
@@ -202,10 +214,16 @@ func (l *Layph) layeredUpdate(applied *delta.Applied) *layeredDiff {
 
 	// Rebuild phase: memberships stay frozen; proxies are re-decided, the
 	// local frame and every shortcut of the subgraph are re-deduced.
+	// Sorted order keeps fresh proxy IDs reproducible between runs.
+	rebuildIDs := make([]int32, 0, len(rebuild))
 	for c := range rebuild {
+		rebuildIDs = append(rebuildIDs, c)
+	}
+	sort.Slice(rebuildIDs, func(a, b int) bool { return rebuildIDs[a] < rebuildIDs[b] })
+	for _, c := range rebuildIDs {
 		s := l.subs[c]
 		for _, v := range s.Members {
-			dirtyRoles[v] = struct{}{}
+			sc.dirtyRoles.add(v)
 			markTouched(v)
 			if int(v) < l.g.Cap() && l.g.Alive(v) {
 				for _, ie := range l.g.In(v) {
@@ -218,7 +236,7 @@ func (l *Layph) layeredUpdate(applied *delta.Applied) *layeredDiff {
 		for _, p := range s.proxies {
 			l.proxyAlive[p] = false
 			l.subOf[p] = NoSubgraph
-			dirtyRoles[p] = struct{}{}
+			sc.dirtyRoles.add(p)
 			markTouched(p)
 		}
 		s.proxies = s.proxies[:0]
@@ -234,7 +252,7 @@ func (l *Layph) layeredUpdate(applied *delta.Applied) *layeredDiff {
 		if !dec.dense || len(s.origMembers) < 2 {
 			for _, v := range s.origMembers {
 				l.subOf[v] = NoSubgraph
-				dirtyRoles[v] = struct{}{}
+				sc.dirtyRoles.add(v)
 				markTouched(v)
 			}
 			delete(l.subs, c)
@@ -243,32 +261,29 @@ func (l *Layph) layeredUpdate(applied *delta.Applied) *layeredDiff {
 		for _, h := range dec.entryHosts {
 			p := l.allocProxy(l.entryProxy, c, h)
 			s.proxies = append(s.proxies, p)
-			dirtyRoles[p] = struct{}{}
+			sc.dirtyRoles.add(p)
 			markTouched(p)
 			markTouched(h)
 		}
 		for _, h := range dec.exitHosts {
 			p := l.allocProxy(l.exitProxy, c, h)
 			s.proxies = append(s.proxies, p)
-			dirtyRoles[p] = struct{}{}
+			sc.dirtyRoles.add(p)
 			markTouched(p)
 		}
 		d.affectedSubs[c] = s
 		d.rebuiltSubs[c] = s
 	}
-	for v := range touched {
+	for _, v := range sc.touched.list {
 		refresh(v)
 	}
+	d.oldSrc, d.oldRows = sc.oldSeen.list, sc.oldRows
 
-	roleList := make([]graph.VertexID, 0, len(dirtyRoles))
-	for v := range dirtyRoles {
-		roleList = append(roleList, v)
-	}
-	l.recomputeRoles(roleList)
+	l.recomputeRoles(sc.dirtyRoles.list)
 
-	rebuilt := subgraphList(d.rebuiltSubs)
-	d.parallelSubs += int64(len(rebuilt))
-	d.shortcutActivations += l.buildSubgraphs(rebuilt)
+	rebuildActs, rebuildTasks := l.buildSubgraphs(subgraphList(d.rebuiltSubs))
+	d.parallelSubs += rebuildTasks
+	d.shortcutActivations += rebuildActs
 
 	// Incremental shortcut maintenance (the paper's Section IV-B weight
 	// updates): subgraphs whose internal edges changed without any
@@ -309,8 +324,6 @@ func (l *Layph) layeredUpdate(applied *delta.Applied) *layeredDiff {
 		intraSubs = append(intraSubs, l.subs[c])
 	}
 	sortSubgraphs(intraSubs)
-	d.parallelSubs += int64(len(intraSubs))
-	intraActs := make([]int64, len(intraSubs))
 	maintain := func(s *Subgraph, parallelEntries bool) int64 {
 		if forceFull {
 			l.classifyMembers(s)
@@ -322,30 +335,42 @@ func (l *Layph) layeredUpdate(applied *delta.Applied) *layeredDiff {
 	if len(intraSubs) == 1 {
 		// Single subgraph: fan out inside it (per-entry deduction) rather
 		// than spending the pool on a one-task outer level.
-		intraActs[0] = maintain(intraSubs[0], true)
-	} else {
+		d.parallelSubs++
+		d.shortcutActivations += maintain(intraSubs[0], true)
+	} else if len(intraSubs) > 1 {
+		chunks := l.subgraphChunks(intraSubs)
+		d.parallelSubs += int64(len(chunks))
+		intraActs := make([]int64, len(chunks))
 		grp := l.pool.Group()
-		for i, s := range intraSubs {
-			i, s := i, s
-			grp.Go(func() { intraActs[i] = maintain(s, false) })
+		for i, ch := range chunks {
+			i, ch := i, ch
+			grp.Go(func() {
+				var a int64
+				for _, s := range ch {
+					a += maintain(s, false)
+				}
+				intraActs[i] = a
+			})
 		}
 		grp.Wait()
+		for _, a := range intraActs {
+			d.shortcutActivations += a
+		}
 	}
-	for i, s := range intraSubs {
-		d.shortcutActivations += intraActs[i]
+	for _, s := range intraSubs {
 		d.affectedSubs[s.ID] = s
 	}
 
-	upDirty := make(map[graph.VertexID]struct{}, len(dirtyRoles))
-	for v := range dirtyRoles {
-		upDirty[v] = struct{}{}
+	sc.upDirty.reset(l.flatN())
+	for _, v := range sc.dirtyRoles.list {
+		sc.upDirty.add(v)
 	}
-	for _, s := range d.affectedSubs {
+	for _, s := range subgraphList(d.affectedSubs) {
 		for _, u := range s.Entries {
-			upDirty[u] = struct{}{}
+			sc.upDirty.add(u)
 		}
 	}
-	for v := range upDirty {
+	for _, v := range sc.upDirty.list {
 		l.refreshUpVertex(v)
 	}
 	return d
@@ -369,6 +394,7 @@ func (l *Layph) growForNewVertices(applied *delta.Applied) {
 				l.role = append(l.role, RoleDead)
 				l.proxyHost = append(l.proxyHost, NoHost)
 				l.proxyAlive = append(l.proxyAlive, false)
+				l.localIdx = append(l.localIdx, -1)
 				l.flatOut = append(l.flatOut, nil)
 				l.flatIn = append(l.flatIn, nil)
 				l.upOut = append(l.upOut, nil)
@@ -462,6 +488,10 @@ func (l *Layph) remapProxies(newCap int) {
 	l.subOf, l.role, l.proxyHost, l.proxyAlive = subOf, role, proxyHost, proxyAlive
 	l.flatOut, l.flatIn, l.upOut, l.upIn = flatOut, flatIn, upOut, upIn
 	l.x, l.parent = x, parent
+	l.localIdx = make([]int32, newN)
+	for i := range l.localIdx {
+		l.localIdx[i] = -1
+	}
 	for k, p := range l.entryProxy {
 		l.entryProxy[k] = mapID(p)
 	}
@@ -487,21 +517,16 @@ func (l *Layph) remapProxies(newCap int) {
 		if s.Local != nil {
 			for i, v := range s.Local.ids {
 				s.Local.ids[i] = mapID(v)
+				l.localIdx[s.Local.ids[i]] = int32(i)
 			}
-			idx := make(map[graph.VertexID]int32, len(s.Local.ids))
-			for i, v := range s.Local.ids {
-				idx[v] = int32(i)
-			}
-			s.Local.idx = idx
 		}
-		remapShortcuts := func(m map[graph.VertexID][]engine.WEdge) map[graph.VertexID][]engine.WEdge {
-			out := make(map[graph.VertexID][]engine.WEdge, len(m))
-			for u, list := range m {
-				out[mapID(u)] = moveList(list)
-			}
-			return out
+		// Shortcut lists target global flat IDs; their vectors and parents
+		// live in compact-ID space and survive the remap untouched.
+		for i, list := range s.scToB {
+			s.scToB[i] = moveList(list)
 		}
-		s.ShortToBoundary = remapShortcuts(s.ShortToBoundary)
-		s.ShortToInternal = remapShortcuts(s.ShortToInternal)
+		for i, list := range s.scToI {
+			s.scToI[i] = moveList(list)
+		}
 	}
 }

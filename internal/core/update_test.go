@@ -55,7 +55,7 @@ func TestRoleFlipInternalToEntry(t *testing.T) {
 	}
 	// The new entry must have shortcuts and be on the skeleton.
 	s := l.subs[l.subOf[victim]]
-	if len(s.ShortToInternal[victim])+len(s.ShortToBoundary[victim]) == 0 {
+	if len(l.ShortcutsToInternal(s, victim))+len(l.ShortcutsToBoundary(s, victim)) == 0 {
 		t.Fatal("new entry has no shortcuts")
 	}
 	if err := l.CheckInvariants(); err != nil {
@@ -67,7 +67,7 @@ func TestRoleFlipInternalToEntry(t *testing.T) {
 	if l.role[victim] != RoleInternal {
 		t.Fatalf("role after removing the external in-edge: %v", l.role[victim])
 	}
-	if _, still := s.ShortToInternal[victim]; still {
+	if len(l.ShortcutsToInternal(s, victim)) != 0 {
 		t.Fatal("stale shortcut origin for demoted entry")
 	}
 	if err := l.CheckInvariants(); err != nil {
@@ -158,13 +158,12 @@ func TestIncrementalShortcutsMatchFullDeduction(t *testing.T) {
 			}
 			for _, s := range l.subs {
 				fresh := &Subgraph{ID: s.ID, origMembers: s.origMembers, proxies: s.proxies,
-					Members: s.Members, Entries: s.Entries, Exits: s.Exits, Internal: s.Internal,
-					ShortToBoundary: map[graph.VertexID][]engine.WEdge{},
-					ShortToInternal: map[graph.VertexID][]engine.WEdge{}}
+					Members: s.Members, Entries: s.Entries, Exits: s.Exits, Internal: s.Internal}
 				l.buildLocalFrame(fresh)
 				l.deduceShortcuts(fresh)
 				for _, u := range s.Entries {
-					mem, ref := s.scVec[u], fresh.scVec[u]
+					cu := l.localIdx[u]
+					mem, ref := s.scVec[cu], fresh.scVec[cu]
 					for i := range mem {
 						mi, ri := mem[i], ref[i]
 						if math.IsInf(mi, 1) != math.IsInf(ri, 1) {

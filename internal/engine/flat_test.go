@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"layph/internal/algo"
+	"layph/internal/graph"
+)
+
+func randomFrameGraph(seed int64, n int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for e := 0; e < n*5; e++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u != v {
+			g.AddEdge(u, v, 1+9*rng.Float64())
+		}
+	}
+	return g
+}
+
+// TestFlatFrameMatchesRowFrame pins that the flat (CSR) frame is an exact
+// projection: same rows, and Run produces identical results on both forms.
+func TestFlatFrameMatchesRowFrame(t *testing.T) {
+	g := randomFrameGraph(3, 80)
+	g.DeleteVertex(7) // dead rows must stay empty
+	a := algo.NewSSSP(0)
+
+	flat := BuildFrame(g, a)
+	if flat.Off == nil {
+		t.Fatal("BuildFrame did not produce a flat frame")
+	}
+	rows := &Frame{Out: make([][]WEdge, flat.N())}
+	for v := 0; v < flat.N(); v++ {
+		rows.Out[v] = append([]WEdge(nil), flat.Row(graph.VertexID(v))...)
+	}
+	if flat.N() != rows.N() || flat.NumEdges() != rows.NumEdges() {
+		t.Fatalf("shape mismatch: N %d/%d E %d/%d", flat.N(), rows.N(), flat.NumEdges(), rows.NumEdges())
+	}
+
+	x0, m0 := InitVectors(g, a)
+	rf := Run(flat, a.Semiring(), x0, m0, Options{Workers: 2})
+	rr := Run(rows, a.Semiring(), x0, m0, Options{Workers: 2})
+	if !algo.StatesClose(rf.X, rr.X, 0) {
+		t.Fatalf("flat vs row states differ: %v", algo.MaxStateDiff(rf.X, rr.X))
+	}
+	if rf.Activations != rr.Activations || rf.Rounds != rr.Rounds {
+		t.Fatalf("flat run counters differ: %d/%d rounds %d/%d",
+			rf.Activations, rr.Activations, rf.Rounds, rr.Rounds)
+	}
+}
+
+// TestFrameThaw pins that thawing keeps rows identical and makes them
+// independently replaceable.
+func TestFrameThaw(t *testing.T) {
+	g := randomFrameGraph(4, 40)
+	a := algo.NewPageRank(0.85, 1e-9)
+	f := BuildFrame(g, a)
+	want := make([][]WEdge, f.N())
+	for v := range want {
+		want[v] = append([]WEdge(nil), f.Row(graph.VertexID(v))...)
+	}
+	f.Thaw()
+	if f.Off != nil || f.Edges != nil {
+		t.Fatal("thaw left flat storage populated")
+	}
+	for v := range want {
+		got := f.Row(graph.VertexID(v))
+		if len(got) != len(want[v]) {
+			t.Fatalf("row %d length changed across thaw", v)
+		}
+		for i := range got {
+			if got[i] != want[v][i] {
+				t.Fatalf("row %d edge %d changed across thaw", v, i)
+			}
+		}
+	}
+	// Appending to a thawed row must not clobber the neighboring row.
+	var v0 graph.VertexID
+	for v := range want {
+		if len(want[v]) > 0 {
+			v0 = graph.VertexID(v)
+			break
+		}
+	}
+	next := f.Row(v0 + 1)
+	nextCopy := append([]WEdge(nil), next...)
+	f.Out[v0] = append(f.Out[v0], WEdge{To: 0, W: 99})
+	for i := range nextCopy {
+		if f.Row(v0 + 1)[i] != nextCopy[i] {
+			t.Fatal("append to thawed row clobbered neighbor")
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package graph
+
+// CSR view: a compact, cache-friendly projection of the adjacency lists.
+//
+// The mutable [][]Edge rows stay the source of truth — incremental engines
+// need O(1) edge insertion/deletion — but scans over many vertices (frame
+// builds, batch restarts, offline construction) are bandwidth-bound, and
+// per-row slice headers scatter the edges across the heap. The CSR view
+// packs all out-edges (and, mirrored, all in-edges) into one contiguous
+// []Edge array indexed by []int32 offsets, in the style of GraphBolt's flat
+// dependency arrays and RisGraph's index-addressed state.
+//
+// Coherence under streaming updates uses a row-granular edge log overlay:
+// every mutation is appended (logically) to the view's overlay — the
+// mutated rows are marked dirty and the logged-event count grows. Reads
+// through CSROut/CSRIn serve clean rows from the flat arrays and dirty rows
+// from the live slices, so the view is always exact without rebuilding.
+// EnsureCSR compacts (rebuilds the flat arrays, emptying the overlay) only
+// when the log exceeds CompactFraction of the base edge count plus a small
+// floor, keeping steady small batches cheap and bounding the fraction of
+// reads that fall back to pointer-chasing rows.
+
+// defaultCSRCompactFraction is the overlay-to-base ratio that triggers
+// compaction on the next EnsureCSR.
+const defaultCSRCompactFraction = 0.25
+
+// csrCompactFloor keeps tiny graphs from compacting on every mutation.
+const csrCompactFloor = 64
+
+// csrView holds the flat adjacency arrays plus the overlay bookkeeping.
+type csrView struct {
+	outOff  []int32
+	outEdge []Edge
+	inOff   []int32
+	inEdge  []Edge
+	// cap is the vertex-ID space covered by the flat arrays; rows at or
+	// beyond it (vertices added after the build) are always served live.
+	cap int
+	// baseEdges is the directed edge count at build time; overlay counts
+	// edge-log events (adds, deletes, reweights) since then.
+	baseEdges int
+	overlay   int
+	dirtyOut  []bool
+	dirtyIn   []bool
+	dirtyRows int
+}
+
+// CSRStats describes the state of the graph's CSR view.
+type CSRStats struct {
+	// Built reports whether a flat view exists at all.
+	Built bool
+	// BaseEdges is the directed edge count captured by the last build;
+	// OverlayEdges the edge-log events accumulated since.
+	BaseEdges    int
+	OverlayEdges int
+	// DirtyRows counts adjacency rows currently served from the live
+	// slices instead of the flat arrays.
+	DirtyRows int
+	// Builds counts flat-array (re)builds; Compactions the subset that
+	// replaced an existing view because its overlay grew past the
+	// threshold.
+	Builds      int64
+	Compactions int64
+}
+
+// CSRStats returns the current view bookkeeping (zero value if EnsureCSR
+// was never called).
+func (g *Graph) CSRStats() CSRStats {
+	s := CSRStats{Builds: g.csrBuilds, Compactions: g.csrCompactions}
+	if g.csr == nil {
+		return s
+	}
+	s.Built = true
+	s.BaseEdges = g.csr.baseEdges
+	s.OverlayEdges = g.csr.overlay
+	s.DirtyRows = g.csr.dirtyRows
+	return s
+}
+
+// SetCSRCompactFraction overrides the overlay-to-base ratio that triggers
+// compaction (0 restores the default). Tests use tiny fractions to force
+// compaction churn mid-stream.
+func (g *Graph) SetCSRCompactFraction(f float64) { g.csrFrac = f }
+
+func (g *Graph) csrCompactThreshold(base int) int {
+	f := g.csrFrac
+	if f <= 0 {
+		f = defaultCSRCompactFraction
+	}
+	return int(f*float64(base)) + csrCompactFloor
+}
+
+// EnsureCSR makes the compact view current: it builds the flat arrays on
+// first use and compacts them when the overlay edge log has outgrown the
+// threshold. Between compactions the view stays exact — dirty rows are
+// served live — so calling EnsureCSR is an optimization, not a correctness
+// requirement, for the CSROut/CSRIn readers.
+//
+// EnsureCSR counts as a mutation for the concurrency contract: callers
+// must not run it concurrently with other access to the graph.
+func (g *Graph) EnsureCSR() {
+	if c := g.csr; c != nil && c.overlay <= g.csrCompactThreshold(c.baseEdges) {
+		return
+	}
+	if g.csr != nil {
+		g.csrCompactions++
+	}
+	g.csrBuilds++
+	g.csr = g.buildCSR()
+}
+
+func (g *Graph) buildCSR() *csrView {
+	n := len(g.out)
+	c := &csrView{
+		outOff:   make([]int32, n+1),
+		inOff:    make([]int32, n+1),
+		cap:      n,
+		dirtyOut: make([]bool, n),
+		dirtyIn:  make([]bool, n),
+	}
+	outTotal, inTotal := 0, 0
+	for v := 0; v < n; v++ {
+		outTotal += len(g.out[v])
+		inTotal += len(g.in[v])
+	}
+	c.outEdge = make([]Edge, 0, outTotal)
+	c.inEdge = make([]Edge, 0, inTotal)
+	for v := 0; v < n; v++ {
+		c.outOff[v] = int32(len(c.outEdge))
+		c.outEdge = append(c.outEdge, g.out[v]...)
+		c.inOff[v] = int32(len(c.inEdge))
+		c.inEdge = append(c.inEdge, g.in[v]...)
+	}
+	c.outOff[n] = int32(len(c.outEdge))
+	c.inOff[n] = int32(len(c.inEdge))
+	c.baseEdges = outTotal
+	return c
+}
+
+// CSROut returns u's out-edges through the compact view: the contiguous
+// flat segment when the row is clean, the live slice when it is dirty or
+// newer than the view. Same ownership rules as Out. Safe without a prior
+// EnsureCSR (it falls back to the live rows).
+func (g *Graph) CSROut(u VertexID) []Edge {
+	if c := g.csr; c != nil && int(u) < c.cap && !c.dirtyOut[u] {
+		return c.outEdge[c.outOff[u]:c.outOff[u+1]]
+	}
+	return g.out[u]
+}
+
+// CSRIn returns v's in-edges through the compact view (each Edge.To is the
+// source vertex). Same rules as CSROut.
+func (g *Graph) CSRIn(v VertexID) []Edge {
+	if c := g.csr; c != nil && int(v) < c.cap && !c.dirtyIn[v] {
+		return c.inEdge[c.inOff[v]:c.inOff[v+1]]
+	}
+	return g.in[v]
+}
+
+// csrLogEdge records one edge-log event (add, delete or reweight) touching
+// u's out-row and v's in-row.
+func (g *Graph) csrLogEdge(u, v VertexID) {
+	c := g.csr
+	if c == nil {
+		return
+	}
+	c.overlay++
+	if int(u) < c.cap && !c.dirtyOut[u] {
+		c.dirtyOut[u] = true
+		c.dirtyRows++
+	}
+	if int(v) < c.cap && !c.dirtyIn[v] {
+		c.dirtyIn[v] = true
+		c.dirtyRows++
+	}
+}
+
+// CheckCSR validates that the compact view agrees edge-for-edge with the
+// live adjacency rows for every vertex. Tests and the differential fuzzer
+// use it to pin overlay coherence across compactions.
+func (g *Graph) CheckCSR() error {
+	for v := range g.out {
+		if err := edgeListsEqual("out", VertexID(v), g.CSROut(VertexID(v)), g.out[v]); err != nil {
+			return err
+		}
+		if err := edgeListsEqual("in", VertexID(v), g.CSRIn(VertexID(v)), g.in[v]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func edgeListsEqual(kind string, v VertexID, got, want []Edge) error {
+	if len(got) != len(want) {
+		return &csrMismatchError{kind: kind, v: v, got: len(got), want: len(want)}
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return &csrMismatchError{kind: kind, v: v, at: i, got: -1, want: -1}
+		}
+	}
+	return nil
+}
+
+type csrMismatchError struct {
+	kind      string
+	v         VertexID
+	at        int
+	got, want int
+}
+
+func (e *csrMismatchError) Error() string {
+	if e.got >= 0 {
+		return "graph: csr " + e.kind + "-row length mismatch at vertex " + itoa(int(e.v)) +
+			" (view " + itoa(e.got) + ", live " + itoa(e.want) + ")"
+	}
+	return "graph: csr " + e.kind + "-row of vertex " + itoa(int(e.v)) +
+		" differs from live row at index " + itoa(e.at)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

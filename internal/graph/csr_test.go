@@ -1,0 +1,126 @@
+package graph
+
+import "testing"
+
+func csrTestGraph() *Graph {
+	g := New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(2, 3, 4)
+	g.AddEdge(3, 0, 5)
+	g.AddEdge(4, 5, 6)
+	g.AddEdge(5, 4, 7)
+	return g
+}
+
+func TestCSRBuildMatchesLiveRows(t *testing.T) {
+	g := csrTestGraph()
+	g.EnsureCSR()
+	st := g.CSRStats()
+	if !st.Built || st.BaseEdges != g.NumEdges() || st.OverlayEdges != 0 || st.DirtyRows != 0 {
+		t.Fatalf("unexpected stats after build: %+v", st)
+	}
+	if st.Builds != 1 || st.Compactions != 0 {
+		t.Fatalf("builds=%d compactions=%d", st.Builds, st.Compactions)
+	}
+	if err := g.CheckCSR(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSROverlayServesMutatedRowsLive(t *testing.T) {
+	g := csrTestGraph()
+	g.EnsureCSR()
+
+	g.AddEdge(1, 3, 9)  // new edge
+	g.AddEdge(0, 1, 10) // reweight
+	g.DeleteEdge(2, 3)  // delete
+	g.DeleteVertex(5)   // tombstone with incident edges
+	nv := g.AddVertex() // beyond view cap
+	g.AddEdge(nv, 0, 1) // row outside the view
+	g.ReviveVertex(5)   // edge-free revival
+	if err := g.CheckCSR(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.CSRStats()
+	if st.OverlayEdges == 0 || st.DirtyRows == 0 {
+		t.Fatalf("mutations not logged: %+v", st)
+	}
+	if got := g.CSROut(5); len(got) != 0 {
+		t.Fatalf("tombstoned-then-revived vertex still has edges via view: %v", got)
+	}
+	if got := g.CSROut(nv); len(got) != 1 || got[0].To != 0 {
+		t.Fatalf("fresh vertex row not served live: %v", got)
+	}
+}
+
+func TestCSRCompactionTrigger(t *testing.T) {
+	g := csrTestGraph()
+	g.SetCSRCompactFraction(0.01)
+	g.EnsureCSR()
+
+	// Below the floor: EnsureCSR must not rebuild.
+	g.AddEdge(1, 4, 1)
+	g.EnsureCSR()
+	if st := g.CSRStats(); st.Builds != 1 {
+		t.Fatalf("compacted below floor: %+v", st)
+	}
+
+	// Push the overlay past floor+fraction and check the rebuild clears it.
+	for i := 0; i < 2*csrCompactFloor; i++ {
+		g.AddEdge(VertexID(i%4), VertexID((i+1)%4), float64(i))
+	}
+	g.EnsureCSR()
+	st := g.CSRStats()
+	if st.Compactions != 1 || st.OverlayEdges != 0 || st.DirtyRows != 0 {
+		t.Fatalf("compaction did not reset overlay: %+v", st)
+	}
+	if err := g.CheckCSR(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRCloneDropsView(t *testing.T) {
+	g := csrTestGraph()
+	g.SetCSRCompactFraction(0.5)
+	g.EnsureCSR()
+	c := g.Clone()
+	if st := c.CSRStats(); st.Built {
+		t.Fatalf("clone inherited csr view: %+v", st)
+	}
+	if c.csrFrac != 0.5 {
+		t.Fatalf("clone lost compact-fraction knob: %v", c.csrFrac)
+	}
+	// Mutating the clone must not disturb the original's view.
+	c.AddEdge(0, 3, 1)
+	if err := g.CheckCSR(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRSortAdjacencyInvalidates(t *testing.T) {
+	g := csrTestGraph()
+	g.EnsureCSR()
+	g.SortAdjacency()
+	if st := g.CSRStats(); st.Built {
+		t.Fatal("SortAdjacency left a stale view in place")
+	}
+	g.EnsureCSR()
+	if err := g.CheckCSR(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRReadersWithoutEnsure(t *testing.T) {
+	g := csrTestGraph()
+	if err := g.CheckCSR(); err != nil { // no view at all: live fallback
+		t.Fatal(err)
+	}
+	if got := g.CSROut(0); len(got) != 2 {
+		t.Fatalf("fallback out-row: %v", got)
+	}
+	if got := g.CSRIn(2); len(got) != 2 {
+		t.Fatalf("fallback in-row: %v", got)
+	}
+}

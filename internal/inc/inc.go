@@ -42,11 +42,13 @@ type Stats struct {
 	Resets int
 	// Duration is the wall-clock time of the update.
 	Duration time.Duration
-	// SubgraphsParallel counts the lower-layer subgraph tasks dispatched
-	// to the engine's shared worker pool during the update (upload
-	// fixpoints, shortcut maintenance and assignment replays; Layph only).
-	// It measures the parallelism the batch exposed, independent of how
-	// many threads actually ran the tasks.
+	// SubgraphsParallel counts the lower-layer pool tasks dispatched to
+	// the engine's shared worker pool during the update (upload fixpoints,
+	// shortcut maintenance and assignment replays; Layph only). Touched
+	// subgraphs are fused into edge-weight-balanced chunks before
+	// dispatch, so this counts chunks, not individual subgraphs. It
+	// measures the parallelism the batch exposed, independent of how many
+	// threads actually ran the tasks.
 	SubgraphsParallel int64
 	// PoolUtilization is the fraction of worker-pool capacity kept busy
 	// over the update's wall-clock time (0..1; 0 for engines without a
@@ -124,6 +126,7 @@ func GrowParents(p []graph.VertexID, n int) []graph.VertexID {
 // non-idempotent scheme to cancel old contributions). It also grows the
 // frame if the graph gained vertices.
 func RefreshFrame(f *engine.Frame, g *graph.Graph, a algo.Algorithm, touched map[graph.VertexID]struct{}) map[graph.VertexID][]engine.WEdge {
+	f.Thaw() // flat frames can't swap rows in place
 	for len(f.Out) < g.Cap() {
 		f.Out = append(f.Out, nil)
 	}

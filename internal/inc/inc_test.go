@@ -77,7 +77,7 @@ func TestSumDeduction(t *testing.T) {
 	f := engine.BuildFrame(g, a)
 	xOld := []float64{2, 0, 0} // pretend state
 	// Delete (0,2): out-degree 2 -> 1, so weight of (0,1) changes too.
-	oldLists := map[graph.VertexID][]engine.WEdge{0: f.Out[0]}
+	oldLists := map[graph.VertexID][]engine.WEdge{0: f.Row(0)}
 	g.DeleteEdge(0, 2)
 	RefreshFrame(f, g, a, map[graph.VertexID]struct{}{0: {}})
 	applied := &delta.Applied{RemovedEdges: []graph.DeletedEdge{{From: 0, To: 2, W: 1}}}

@@ -116,6 +116,30 @@ func TestDifferentialFuzzSum(t *testing.T) {
 	}
 }
 
+// TestDifferentialFuzzCSR drives Layph (sequential and parallel) through
+// the CSR stress schedule: a near-zero compaction threshold makes the
+// flat-view overlay compact several times mid-stream, heavy vertex churn
+// deletes vertices whose rows are still baked into the flat arrays
+// (tombstoned deletes), and the forced per-batch compaction makes Layph's
+// entry proxies rewire against freshly rebuilt arrays. CheckCSR pins
+// view/live coherence after every batch; states are still cross-checked
+// against the restart oracle as usual.
+func TestDifferentialFuzzCSR(t *testing.T) {
+	engines := []enginetest.NamedFactory{
+		{Name: "layph-t1", New: layphFactory(1)},
+		{Name: "layph-t8", New: layphFactory(8)},
+	}
+	algos := map[string]enginetest.AlgoMaker{
+		"sssp":     enginetest.MinAlgorithms()["sssp"],
+		"pagerank": enginetest.SumAlgorithms()["pagerank"],
+	}
+	for name, mk := range algos {
+		t.Run(name, func(t *testing.T) {
+			enginetest.RunDifferential(t, engines, mk, enginetest.CSRDifferentialConfig())
+		})
+	}
+}
+
 func TestAlgorithmsExposed(t *testing.T) {
 	for _, a := range []Algorithm{SSSP(0), BFS(0), PageRank(0.85, 1e-6), PHP(0, 0.8, 1e-6)} {
 		if a.Name() == "" || a.Semiring() == nil {
