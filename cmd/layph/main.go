@@ -57,15 +57,28 @@ func registerEngineFlags(fs *flag.FlagSet) *engineFlags {
 // build loads the selected graph, prints its stats, and constructs the
 // selected engine over it (running the initial batch computation).
 func (ef *engineFlags) build() (*graph.Graph, inc.System, *core.Layph) {
+	g := ef.loadGraph()
+	sys, layered := ef.buildOn(g)
+	return g, sys, layered
+}
+
+// loadGraph loads the selected graph and prints its stats.
+func (ef *engineFlags) loadGraph() *graph.Graph {
 	g, err := loadGraph(ef.graphPath, ef.preset, ef.scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("graph: %s\n", graph.ComputeStats(g))
+	return g
+}
+
+// buildOn constructs the selected engine over an existing graph (running
+// the initial batch computation) — used by the durable serve path, where
+// the graph may come from a recovered checkpoint instead of -graph.
+func (ef *engineFlags) buildOn(g *graph.Graph) (inc.System, *core.Layph) {
 	mk := makeAlgo(ef.algoName, graph.VertexID(ef.source))
-	sys, layered := bench.Build(bench.SystemKind(ef.system), g, mk, ef.threads)
-	return g, sys, layered
+	return bench.Build(bench.SystemKind(ef.system), g, mk, ef.threads)
 }
 
 // runMain is the original replay mode: pre-sized random batches, one

@@ -23,10 +23,13 @@ import (
 	"syscall"
 	"time"
 
+	"layph"
 	"layph/internal/delta"
 	"layph/internal/graph"
+	"layph/internal/inc"
 	"layph/internal/server"
 	"layph/internal/stream"
+	"layph/internal/wal"
 )
 
 func serveMain(args []string) {
@@ -44,6 +47,11 @@ func serveMain(args []string) {
 		top       = fs.Int("top", 3, "sample this many vertex states in reports")
 		maxVertex = fs.Uint("maxvertex", 0, "reject updates referencing vertex ids >= this (0 = |V| + 1048576)")
 		listen    = fs.String("listen", "", "serve the HTTP API on this address (e.g. 127.0.0.1:8090) until SIGINT")
+
+		walDir        = fs.String("wal", "", "durability directory: write-ahead log + checkpoints; a restart on the same directory recovers and resumes")
+		ckptEvery     = fs.Int("checkpoint-every", 64, "cut a snapshot checkpoint after this many micro-batches (with -wal)")
+		fsync         = fs.String("fsync", "batch", "WAL fsync policy: batch | interval | off (with -wal)")
+		fsyncInterval = fs.Duration("fsync-interval", 100*time.Millisecond, "fsync period for -fsync interval")
 	)
 	fs.Parse(args)
 
@@ -62,15 +70,64 @@ func serveMain(args []string) {
 		os.Exit(2)
 	}
 
-	buildStart := time.Now()
-	g, sys, _ := ef.build()
-	fmt.Printf("engine: %s ready in %v (initial batch computation done)\n",
-		sys.Name(), time.Since(buildStart).Round(time.Millisecond))
-
-	s := stream.New(g, sys, stream.Config{
+	scfg := stream.Config{
 		MaxBatch: *maxBatch, MaxDelay: *maxDelay,
 		QueueCap: *queueCap, Policy: pol,
-	})
+	}
+
+	buildStart := time.Now()
+	var (
+		s   *stream.Stream
+		g   *graph.Graph
+		dur *layph.DurableStream
+	)
+	if *walDir != "" {
+		syncPol, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(2)
+		}
+		// The workload tag pins the directory to this algo/engine/source
+		// combination; resuming it under a different one is refused.
+		meta := fmt.Sprintf("algo=%s system=%s source=%d", ef.algoName, ef.system, ef.source)
+		if hasDurableState(*walDir) {
+			fmt.Printf("wal: recovering from %s (-graph/-preset ignored)\n", *walDir)
+		} else {
+			g = ef.loadGraph()
+		}
+		dur, err = layph.OpenStream(g, func(g *graph.Graph) inc.System {
+			sys, _ := ef.buildOn(g)
+			return sys
+		}, layph.DurableStreamConfig{
+			Dir: *walDir,
+			WAL: wal.Config{
+				Sync: syncPol, Interval: *fsyncInterval,
+				CheckpointEvery: *ckptEvery, Meta: meta,
+			},
+			Stream: scfg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		s, g = dur.Stream, dur.Stream.Graph()
+		if r := dur.Recovery; r != nil {
+			fmt.Printf("wal: recovered to seq=%d updates=%d (checkpoint seq=%d + %d batches/%d updates replayed; load=%.0fms replay=%.0fms states-verified=%v)\n",
+				r.Seq, r.Updates, r.CheckpointSeq, r.ReplayedBatches, r.ReplayedUpdates,
+				r.LoadMillis, r.ReplayMillis, r.StatesVerified)
+			if r.DiscardedBytes > 0 {
+				fmt.Printf("wal: discarded %d bytes of torn log tail\n", r.DiscardedBytes)
+			}
+		}
+		fmt.Printf("engine: %s ready in %v (durable, fsync=%s, checkpoint every %d batches)\n",
+			s.System().Name(), time.Since(buildStart).Round(time.Millisecond), syncPol, *ckptEvery)
+	} else {
+		g0, sys, _ := ef.build()
+		g = g0
+		fmt.Printf("engine: %s ready in %v (initial batch computation done)\n",
+			sys.Name(), time.Since(buildStart).Round(time.Millisecond))
+		s = stream.New(g, sys, scfg)
+	}
 
 	stopReport := make(chan struct{})
 	reportDone := make(chan struct{})
@@ -98,7 +155,7 @@ func serveMain(args []string) {
 	}
 
 	if *listen != "" {
-		daemonMain(s, *listen, idCap, *input, *randN, *seed, g, stopReport, reportDone, *top)
+		daemonMain(s, dur, *listen, idCap, *input, *randN, *seed, g, stopReport, reportDone, *top)
 		return
 	}
 
@@ -110,18 +167,52 @@ func serveMain(args []string) {
 	close(stopReport)
 	<-reportDone
 	s.Close()
+	closeDurable(dur)
 
 	fmt.Printf("done: pushed=%d dropped=%d\n", pushed, dropped)
 	printFinal(s, *top)
 }
 
+// hasDurableState reports whether a WAL directory already holds
+// checkpoints or segments (i.e. a restart should recover, not load a
+// fresh graph).
+func hasDurableState(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "checkpoint-") || strings.HasPrefix(e.Name(), "wal-") {
+			return true
+		}
+	}
+	return false
+}
+
+// closeDurable cuts the final checkpoint and closes the WAL (nil-safe),
+// printing the log's lifetime totals.
+func closeDurable(dur *layph.DurableStream) {
+	if dur == nil {
+		return
+	}
+	if err := dur.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "wal:", err)
+	}
+	st := dur.Log.Stats()
+	fmt.Printf("wal totals: batches=%d updates=%d bytes=%d fsyncs=%d checkpoints=%d (%.3fs) last-checkpoint-seq=%d\n",
+		st.Batches, st.Updates, st.Bytes, st.Fsyncs, st.Checkpoints, st.CheckpointSeconds, st.LastCheckpointSeq)
+}
+
 // daemonMain runs serve's -listen mode: start the HTTP API, keep any
 // -input/-rand feed running in the background, and block until
 // SIGINT/SIGTERM, then drain the stream and stop the listener.
-func daemonMain(s *stream.Stream, addr string, idCap graph.VertexID,
+func daemonMain(s *stream.Stream, dur *layph.DurableStream, addr string, idCap graph.VertexID,
 	input string, randN int, seed int64, g *graph.Graph,
 	stopReport, reportDone chan struct{}, top int) {
 	srv := server.New(s, server.Config{Addr: addr, MaxVertexID: idCap})
+	if dur != nil {
+		srv.AttachDurability(dur.Log, dur.Recovery)
+	}
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "listen:", err)
 		os.Exit(1)
@@ -146,6 +237,7 @@ func daemonMain(s *stream.Stream, addr string, idCap graph.VertexID,
 		fmt.Fprintln(os.Stderr, "shutdown:", err)
 		os.Exit(1)
 	}
+	closeDurable(dur)
 	close(stopReport)
 	<-reportDone
 	printFinal(s, top)

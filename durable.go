@@ -1,0 +1,189 @@
+package layph
+
+// Durability facade: OpenStream wraps NewStream with a write-ahead log
+// and checkpoints (internal/wal), so a crashed process restarts from its
+// last published snapshot instead of recomputing from scratch.
+
+import (
+	"fmt"
+	"time"
+
+	"layph/internal/inc"
+	"layph/internal/stream"
+	"layph/internal/wal"
+)
+
+// WAL is the write-ahead log + checkpoint store behind a durable stream.
+type WAL = wal.Log
+
+// WALConfig tunes the log: fsync policy, checkpoint cadence, workload
+// meta tag.
+type WALConfig = wal.Config
+
+// WALStats is a point-in-time summary of WAL activity.
+type WALStats = wal.Stats
+
+// WALSyncPolicy selects when appended batches are fsynced.
+type WALSyncPolicy = wal.SyncPolicy
+
+// Fsync policies for WALConfig.Sync.
+const (
+	// SyncEveryBatch fsyncs before each micro-batch publishes (default;
+	// full durability).
+	SyncEveryBatch = wal.SyncEveryBatch
+	// SyncInterval fsyncs at most once per WALConfig.Interval.
+	SyncInterval = wal.SyncInterval
+	// SyncOff never fsyncs (survives a process kill, not an OS crash).
+	SyncOff = wal.SyncOff
+)
+
+// RecoveryInfo summarizes a completed crash recovery.
+type RecoveryInfo = wal.RecoveryInfo
+
+// ErrWALSeqGap reports unrecoverable mid-history WAL loss.
+var ErrWALSeqGap = wal.ErrSeqGap
+
+// recoveryVerifyTol is the tolerance for comparing the rebuilt engine's
+// converged states against the checkpoint's state vector. Min-semiring
+// workloads match exactly; sum-semiring ones within accumulation noise.
+const recoveryVerifyTol = 1e-4
+
+// DurableStreamConfig configures OpenStream.
+type DurableStreamConfig struct {
+	// Dir is the durability directory (created if missing). One stream
+	// per directory.
+	Dir string
+	// WAL tunes the log; WAL.Meta should identify the workload
+	// ("algo=sssp ..."): recovery refuses a directory whose checkpoint
+	// was written under a different non-empty tag, because replaying an
+	// SSSP log into a PageRank engine would serve garbage silently.
+	WAL WALConfig
+	// Stream tunes the micro-batcher. Durability and Start* fields are
+	// overwritten by OpenStream.
+	Stream StreamConfig
+}
+
+// DurableStream is a Stream bound to its WAL.
+type DurableStream struct {
+	// Stream is the live pipeline; Push/Query/Drain as usual.
+	Stream *Stream
+	// Log is the underlying WAL (for Stats).
+	Log *WAL
+	// Recovery describes the crash recovery that produced this stream,
+	// nil when the directory was fresh.
+	Recovery *RecoveryInfo
+}
+
+// OpenStream opens (or resumes) a durable stream in cfg.Dir.
+//
+// On a fresh directory it behaves like NewStream over freshGraph plus
+// write-ahead logging: build constructs the engine on freshGraph (running
+// the initial batch computation), a seq-0 checkpoint is cut, and every
+// micro-batch is logged before its snapshot publishes.
+//
+// On a directory with durable state, freshGraph is IGNORED: the latest
+// valid checkpoint's graph is loaded, build constructs the engine on it,
+// the engine's converged states are verified against the checkpointed
+// vector (Recovery.StatesVerified), the WAL tail is replayed through the
+// incremental path, a fresh checkpoint is cut at the recovered position,
+// and the stream resumes serving with its seq/update counters intact.
+func OpenStream(freshGraph *Graph, build func(*Graph) System, cfg DurableStreamConfig) (*DurableStream, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("layph: OpenStream needs a durability directory")
+	}
+	l, rec, err := wal.Open(cfg.Dir, cfg.WAL)
+	if err != nil {
+		return nil, err
+	}
+	scfg := cfg.Stream
+	scfg.StartSeq, scfg.StartUpdates, scfg.StartStats = 0, 0, inc.Stats{}
+
+	if rec == nil {
+		if freshGraph == nil {
+			return nil, fmt.Errorf("layph: OpenStream on fresh dir %s needs a graph", cfg.Dir)
+		}
+		sys := build(freshGraph)
+		if err := l.Start(0, 0, freshGraph, sys.States()); err != nil {
+			l.Close()
+			return nil, err
+		}
+		scfg.Durability = l
+		return &DurableStream{Stream: stream.New(freshGraph, sys, scfg), Log: l}, nil
+	}
+
+	if rec.Meta != "" && cfg.WAL.Meta != "" && rec.Meta != cfg.WAL.Meta {
+		l.Close()
+		return nil, fmt.Errorf("layph: durability dir %s was written by workload %q, refusing to resume as %q",
+			cfg.Dir, rec.Meta, cfg.WAL.Meta)
+	}
+
+	// Rebuild the engine on the checkpointed graph (this reruns the
+	// initial batch computation) and check its fixpoint against the
+	// checkpointed states — a free end-to-end integrity test. Only the
+	// graph-aligned prefix is compared: an engine may keep internal
+	// replica states past g.Cap() (Layph's proxies), which are derived,
+	// not checkpointed.
+	g := rec.Graph
+	sys := build(g)
+	sysStates := sys.States()
+	verified := len(sysStates) >= len(rec.States) &&
+		StatesClose(sysStates[:len(rec.States)], rec.States, recoveryVerifyTol)
+	info := &RecoveryInfo{
+		CheckpointSeq:  rec.CheckpointSeq,
+		DiscardedBytes: rec.DiscardedBytes,
+		LoadMillis:     float64(rec.LoadDuration) / float64(time.Millisecond),
+		StatesVerified: verified,
+		Meta:           rec.Meta,
+	}
+
+	// Replay the tail through the incremental path, exactly as the live
+	// stream would have applied it.
+	replayStart := time.Now()
+	var agg inc.Stats
+	seq, updates := rec.CheckpointSeq, rec.CheckpointUpdates
+	for _, r := range rec.Tail {
+		applied := ApplyBatch(g, r.Batch)
+		var st inc.Stats
+		if !applied.Empty() {
+			st = sys.Update(applied)
+		}
+		st.ReplayedBatches = 1
+		agg.Add(st)
+		seq = r.Seq
+		updates += uint64(len(r.Batch))
+		info.ReplayedUpdates += int64(len(r.Batch))
+	}
+	info.ReplayedBatches = int64(len(rec.Tail))
+	info.ReplayMillis = float64(time.Since(replayStart)) / float64(time.Millisecond)
+	info.Seq, info.Updates = seq, updates
+
+	// Re-checkpoint at the recovered position: the next crash replays
+	// nothing we just replayed, and the old segments are pruned.
+	if err := l.Start(seq, updates, g, sys.States()); err != nil {
+		l.Close()
+		return nil, err
+	}
+	scfg.Durability = l
+	scfg.StartSeq, scfg.StartUpdates, scfg.StartStats = seq, updates, agg
+	return &DurableStream{Stream: stream.New(g, sys, scfg), Log: l, Recovery: info}, nil
+}
+
+// Close shuts the pipeline down cleanly: the stream drains and stops,
+// a final checkpoint is cut at the last published snapshot (so the next
+// OpenStream replays nothing), and the log is closed. The first error
+// encountered — including a sticky durability error from the stream's
+// lifetime — is returned.
+func (d *DurableStream) Close() error {
+	first := d.Stream.DurabilityErr()
+	if err := d.Stream.Close(); err != nil && first == nil {
+		first = err
+	}
+	snap := d.Stream.Query()
+	if err := d.Log.Checkpoint(snap.Seq, snap.Updates, d.Stream.Graph(), snap.States); err != nil && first == nil {
+		first = err
+	}
+	if err := d.Log.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

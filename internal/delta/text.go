@@ -103,19 +103,22 @@ func ParseUpdate(line string) (Update, error) {
 }
 
 // FormatUpdate renders u in the text wire format (the inverse of
-// ParseUpdate).
-func FormatUpdate(u Update) string {
+// ParseUpdate). An update with an unknown Kind is an error, never silent
+// output: the text format doubles as the WAL's record payload, and a
+// writer that renders garbage (or a skipped comment line) for a corrupt
+// update would acknowledge data it never persisted.
+func FormatUpdate(u Update) (string, error) {
 	switch u.Kind {
 	case AddEdge:
-		return fmt.Sprintf("a %d %d %g", u.U, u.V, u.W)
+		return fmt.Sprintf("a %d %d %g", u.U, u.V, u.W), nil
 	case DelEdge:
-		return fmt.Sprintf("d %d %d", u.U, u.V)
+		return fmt.Sprintf("d %d %d", u.U, u.V), nil
 	case AddVertex:
-		return fmt.Sprintf("av %d", u.U)
+		return fmt.Sprintf("av %d", u.U), nil
 	case DelVertex:
-		return fmt.Sprintf("dv %d", u.U)
+		return fmt.Sprintf("dv %d", u.U), nil
 	}
-	return "# ?"
+	return "", fmt.Errorf("delta: cannot format update with unknown kind %d", uint8(u.Kind))
 }
 
 // ForEachUpdate scans r line by line, skipping blanks and '#' comments,
@@ -139,7 +142,13 @@ func ForEachUpdate(r io.Reader, fn func(lineno int, u Update, err error) error) 
 			return err
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		// Position context makes a corrupt record diagnosable: a bare
+		// bufio.ErrTooLong from a 1 MiB+ line says nothing about where
+		// in a multi-megabyte log the damage sits.
+		return fmt.Errorf("delta: read error after line %d: %w", lineno, err)
+	}
+	return nil
 }
 
 // ReadUpdates parses a whole update stream into a batch, skipping blanks
@@ -160,11 +169,16 @@ func ReadUpdates(r io.Reader) (Batch, error) {
 }
 
 // WriteUpdates renders a batch in the text wire format, one update per
-// line.
+// line. A corrupt update (unknown Kind) fails the whole write before any
+// caller can mistake the output for a faithful rendering of the batch.
 func WriteUpdates(w io.Writer, b Batch) error {
 	bw := bufio.NewWriter(w)
-	for _, u := range b {
-		if _, err := bw.WriteString(FormatUpdate(u)); err != nil {
+	for i, u := range b {
+		line, err := FormatUpdate(u)
+		if err != nil {
+			return fmt.Errorf("delta: update %d: %w", i, err)
+		}
+		if _, err := bw.WriteString(line); err != nil {
 			return err
 		}
 		if err := bw.WriteByte('\n'); err != nil {

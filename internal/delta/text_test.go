@@ -1,7 +1,9 @@
 package delta
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -141,16 +143,80 @@ func TestDuplicateAddDelNetsOut(t *testing.T) {
 	}
 }
 
+// FormatUpdate must refuse an update with a corrupt Kind instead of
+// rendering it as a comment: WriteUpdates feeds the WAL, and a comment
+// line would be silently skipped on replay — acked but never persisted.
+func TestFormatUpdateUnknownKind(t *testing.T) {
+	cases := []struct {
+		name string
+		u    Update
+		want string // rendered line for valid kinds; "" = expect an error
+	}{
+		{"add edge", Update{Kind: AddEdge, U: 1, V: 2, W: 3.5}, "a 1 2 3.5"},
+		{"del edge", Update{Kind: DelEdge, U: 2, V: 1}, "d 2 1"},
+		{"add vertex", Update{Kind: AddVertex, U: 9}, "av 9"},
+		{"del vertex", Update{Kind: DelVertex, U: 4}, "dv 4"},
+		{"kind just past range", Update{Kind: DelVertex + 1, U: 1, V: 2}, ""},
+		{"kind far out of range", Update{Kind: Kind(200), U: 1, V: 2, W: 1}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			line, err := FormatUpdate(tc.u)
+			if tc.want == "" {
+				if err == nil {
+					t.Fatalf("FormatUpdate(%+v) = %q, want error", tc.u, line)
+				}
+				if !strings.Contains(err.Error(), "unknown kind") {
+					t.Fatalf("FormatUpdate(%+v) error %q, want 'unknown kind'", tc.u, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("FormatUpdate(%+v): %v", tc.u, err)
+			}
+			if line != tc.want {
+				t.Fatalf("FormatUpdate(%+v) = %q, want %q", tc.u, line, tc.want)
+			}
+		})
+	}
+
+	// The write path fails loudly, identifying the corrupt element, and a
+	// clean prefix does not excuse the batch.
+	b := Batch{{Kind: AddEdge, U: 0, V: 1, W: 1}, {Kind: Kind(7), U: 3}}
+	var buf bytes.Buffer
+	err := WriteUpdates(&buf, b)
+	if err == nil {
+		t.Fatalf("WriteUpdates accepted a corrupt batch, wrote %q", buf.String())
+	}
+	if !strings.Contains(err.Error(), "update 1") || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("WriteUpdates error %q, want position and 'unknown kind'", err)
+	}
+}
+
 // Overlong lines (beyond the scanner's 1 MiB token cap) must surface as a
-// scan error, not a panic or a silent truncation.
+// scan error carrying the line position, not a panic or a silent
+// truncation: without the position a corrupt log record is undiagnosable.
 func TestOverlongLineRejected(t *testing.T) {
 	long := "a 0 1 " + strings.Repeat("9", 2<<20)
 	err := ForEachUpdate(strings.NewReader(long), func(int, Update, error) error { return nil })
 	if err == nil {
 		t.Fatal("2 MiB line accepted by ForEachUpdate")
 	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("overlong-line error %v does not unwrap to bufio.ErrTooLong", err)
+	}
 	if _, err := ReadUpdates(strings.NewReader(long)); err == nil {
 		t.Fatal("2 MiB line accepted by ReadUpdates")
+	}
+	// Valid lines before the corrupt one position the error: the monster
+	// line above is line 3.
+	prefixed := "a 0 1\nd 0 1\n" + long + "\n"
+	err = ForEachUpdate(strings.NewReader(prefixed), func(int, Update, error) error { return nil })
+	if err == nil {
+		t.Fatal("overlong line 3 accepted")
+	}
+	if !strings.Contains(err.Error(), "after line 2") {
+		t.Fatalf("scanner error %q lacks position context (want 'after line 2')", err)
 	}
 	// A line just under the cap still parses (weight overflows float64
 	// range and is rejected by value, not by length — still an error, but

@@ -54,6 +54,10 @@ type Stats struct {
 	// over the update's wall-clock time (0..1; 0 for engines without a
 	// pool).
 	PoolUtilization float64
+	// ReplayedBatches counts Update calls that re-applied write-ahead-log
+	// tail batches during crash recovery rather than live traffic. In an
+	// aggregated record it separates recovery work from serving work.
+	ReplayedBatches int64
 }
 
 // Add accumulates another update's record into s: counters and durations
@@ -70,6 +74,7 @@ func (s *Stats) Add(o Stats) {
 	s.Rounds += o.Rounds
 	s.Resets += o.Resets
 	s.SubgraphsParallel += o.SubgraphsParallel
+	s.ReplayedBatches += o.ReplayedBatches
 	s.Duration += o.Duration
 }
 

@@ -47,6 +47,7 @@ import (
 	"layph/internal/delta"
 	"layph/internal/graph"
 	"layph/internal/stream"
+	"layph/internal/wal"
 )
 
 // Config tunes the daemon. The zero value gives sane defaults.
@@ -89,6 +90,8 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	st       atomic.Pointer[stream.Stream]
+	wal      atomic.Pointer[wal.Log]
+	recovery atomic.Pointer[wal.RecoveryInfo]
 	draining atomic.Bool
 
 	mux       *http.ServeMux
@@ -117,6 +120,18 @@ func New(st *stream.Stream, cfg Config) *Server {
 
 // Attach sets (or replaces) the stream backing the API.
 func (s *Server) Attach(st *stream.Stream) { s.st.Store(st) }
+
+// AttachDurability exposes the stream's WAL and (optionally) the crash
+// recovery that produced it through /metrics. info may be nil (fresh
+// directory).
+func (s *Server) AttachDurability(l *wal.Log, info *wal.RecoveryInfo) {
+	if l != nil {
+		s.wal.Store(l)
+	}
+	if info != nil {
+		s.recovery.Store(info)
+	}
+}
 
 // Handler returns the API handler, for mounting without Start (tests,
 // embedding under an existing server).
@@ -241,9 +256,17 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, stream.ErrQueueFull):
 			resp.Dropped++
 		case errors.Is(err, stream.ErrClosed):
-			// Shutdown raced the batch: the first resp.Accepted updates
-			// are acknowledged and will be in the final snapshot; the
-			// rest were refused.
+			// Shutdown raced the batch. This partial accept is a pinned
+			// API contract, not an accident: updates enter the stream one
+			// by one, so a concurrent Close can land between any two of
+			// them, and un-pushing the prefix is impossible (earlier
+			// updates may already be applied and published). The response
+			// therefore reports exactly how many updates were accepted —
+			// all of which are in the final snapshot (and, with a WAL,
+			// durable), while the rest were refused wholesale. Clients
+			// retrying a mid-batch 503 must resubmit only the unaccepted
+			// suffix. TestPushShutdownRaceAccounting holds this invariant:
+			// accepted-count == applied-count == WAL-logged-count.
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 				"error": "stream closed mid-batch", "accepted": resp.Accepted,
 			})
@@ -422,6 +445,21 @@ type engineMetrics struct {
 	UpdateSeconds     float64 `json:"update_seconds"`
 	SubgraphsParallel int64   `json:"subgraphs_parallel"`
 	PoolUtilization   float64 `json:"pool_utilization"`
+	ReplayedBatches   int64   `json:"replayed_batches,omitempty"`
+}
+
+// walMetrics is the JSON shape of wal.Stats.
+type walMetrics struct {
+	Policy            string  `json:"policy"`
+	Batches           int64   `json:"batches"`
+	Updates           int64   `json:"updates"`
+	Bytes             int64   `json:"bytes"`
+	Fsyncs            int64   `json:"fsyncs"`
+	Checkpoints       int64   `json:"checkpoints"`
+	LastCheckpointSeq uint64  `json:"last_checkpoint_seq"`
+	CheckpointSeconds float64 `json:"checkpoint_seconds"`
+	Failures          int64   `json:"failures"`
+	LogFailures       int64   `json:"log_failures"`
 }
 
 // metricsResponse summarizes daemon and stream health.
@@ -437,6 +475,10 @@ type metricsResponse struct {
 	ThroughputUPS   float64       `json:"throughput_ups"`
 	MeanBatchMillis float64       `json:"mean_batch_ms"`
 	Engine          engineMetrics `json:"engine"`
+	// WAL and Recovery appear only on a durable stream (see
+	// Server.AttachDurability).
+	WAL      *walMetrics       `json:"wal,omitempty"`
+	Recovery *wal.RecoveryInfo `json:"recovery,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -451,7 +493,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	m := st.Metrics()
 	snap := st.Query()
-	writeJSON(w, http.StatusOK, metricsResponse{
+	resp := metricsResponse{
 		Ready:           true,
 		Draining:        s.draining.Load(),
 		Seq:             snap.Seq,
@@ -469,8 +511,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			UpdateSeconds:     m.Engine.Duration.Seconds(),
 			SubgraphsParallel: m.Engine.SubgraphsParallel,
 			PoolUtilization:   m.Engine.PoolUtilization,
+			ReplayedBatches:   m.Engine.ReplayedBatches,
 		},
-	})
+		Recovery: s.recovery.Load(),
+	}
+	if l := s.wal.Load(); l != nil {
+		ws := l.Stats()
+		resp.WAL = &walMetrics{
+			Policy:            ws.Policy,
+			Batches:           ws.Batches,
+			Updates:           ws.Updates,
+			Bytes:             ws.Bytes,
+			Fsyncs:            ws.Fsyncs,
+			Checkpoints:       ws.Checkpoints,
+			LastCheckpointSeq: ws.LastCheckpointSeq,
+			CheckpointSeconds: ws.CheckpointSeconds,
+			Failures:          ws.Failures,
+			LogFailures:       m.LogFailures,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

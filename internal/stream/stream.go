@@ -24,6 +24,14 @@
 // Shutdown: Drain blocks until everything pushed before it has been
 // applied and published; Close drains and then stops the worker. Push
 // after Close returns ErrClosed.
+//
+// Durability: with Config.Durability set (see internal/wal), every
+// micro-batch is handed to the hook BEFORE it is applied and published —
+// write-ahead logging — so any state visible through Query survives a
+// crash. The durable boundary is the published snapshot: updates acked by
+// Push but still queued or pending when the process dies are lost, which
+// is exactly the pre-crash behaviour a client observes from an unflushed
+// micro-batch.
 package stream
 
 import (
@@ -57,6 +65,23 @@ var (
 	ErrQueueFull = errors.New("stream: queue full")
 )
 
+// Durable is the durability hook of a stream (implemented by wal.Log).
+// Both methods run on the worker goroutine, serialized with every apply.
+type Durable interface {
+	// LogBatch persists one micro-batch BEFORE it is applied to the graph
+	// and before its snapshot publishes. seq is the snapshot sequence
+	// number the batch will produce. A non-nil error means the batch is
+	// NOT durable: the stream keeps it pending and retries rather than
+	// publishing state that a crash would lose.
+	LogBatch(seq uint64, batch delta.Batch) error
+	// AfterBatch runs after the batch's snapshot has been published, with
+	// exclusive access to the graph and the (immutable) published states;
+	// wal.Log uses it to cut periodic checkpoints. Errors are recorded as
+	// sticky but do not stall the stream — the WAL already holds the
+	// batch, so a failed checkpoint only lengthens future recovery.
+	AfterBatch(seq, updates uint64, g *graph.Graph, states []float64) error
+}
+
 // Config tunes a Stream. The zero value gives sane defaults.
 type Config struct {
 	// MaxBatch is the count trigger: a pending micro-batch of this many
@@ -78,6 +103,19 @@ type Config struct {
 	// each micro-batch is applied and its snapshot published. It must be
 	// fast; it stalls ingestion while it runs.
 	OnBatch func(BatchResult)
+	// Durability, when non-nil, receives every micro-batch before it is
+	// applied (LogBatch) and after its snapshot publishes (AfterBatch).
+	// The write-ahead-log contract: a snapshot is never published unless
+	// its batch has been logged first, so everything visible through
+	// Query survives a crash.
+	Durability Durable
+	// StartSeq and StartUpdates seed the initial snapshot's counters, so
+	// a stream resumed from a recovered checkpoint continues the sequence
+	// instead of restarting at zero.
+	StartSeq, StartUpdates uint64
+	// StartStats pre-loads the lifetime engine aggregate (Metrics.Engine),
+	// letting recovery fold the WAL tail's replay work into /metrics.
+	StartStats inc.Stats
 }
 
 func (c Config) withDefaults() Config {
@@ -142,7 +180,12 @@ type Metrics struct {
 	// MeanBatchLatency is the mean apply+update time per micro-batch over
 	// the window.
 	MeanBatchLatency time.Duration
-	// Engine aggregates the per-batch inc.Stats over the stream lifetime.
+	// LogFailures counts failed Durable.LogBatch/AfterBatch calls (0
+	// without a durability hook). The first failure is kept as a sticky
+	// error, readable via DurabilityErr.
+	LogFailures int64
+	// Engine aggregates the per-batch inc.Stats over the stream lifetime
+	// (including Config.StartStats, i.e. recovery replay work).
 	Engine inc.Stats
 }
 
@@ -171,14 +214,16 @@ type Stream struct {
 
 	snap atomic.Pointer[Snapshot]
 
-	accepted metrics.Counter
-	dropped  metrics.Counter
-	applied  metrics.Counter
-	batches  metrics.Counter
-	window   *metrics.Rolling
+	accepted    metrics.Counter
+	dropped     metrics.Counter
+	applied     metrics.Counter
+	batches     metrics.Counter
+	logFailures metrics.Counter
+	window      *metrics.Rolling
 
-	mu  sync.Mutex // guards agg
-	agg inc.Stats
+	mu     sync.Mutex // guards agg and durErr
+	agg    inc.Stats
+	durErr error // first durability failure, sticky
 }
 
 // New starts a stream over g driving sys. The system must already have
@@ -195,8 +240,12 @@ func New(g *graph.Graph, sys inc.System, cfg Config) *Stream {
 		in:     make(chan item, cfg.QueueCap),
 		done:   make(chan struct{}),
 		window: metrics.NewRolling(cfg.Window),
+		agg:    cfg.StartStats,
 	}
-	s.snap.Store(&Snapshot{Seq: 0, States: copyStates(sys.States()), At: time.Now()})
+	s.snap.Store(&Snapshot{
+		Seq: cfg.StartSeq, Updates: cfg.StartUpdates,
+		States: copyStates(sys.States()), At: time.Now(),
+	})
 	go s.loop()
 	return s
 }
@@ -236,7 +285,10 @@ func (s *Stream) Query() *Snapshot {
 }
 
 // Drain blocks until every update pushed before the call has been applied
-// and its snapshot published. It does not stop the stream.
+// and its snapshot published. It does not stop the stream. On a stream
+// with a durability hook, Drain surfaces the sticky durability error: a
+// returned error means the stream is degraded and some drained updates
+// may not be durable (or even applied) yet.
 func (s *Stream) Drain() error {
 	barrier := make(chan struct{})
 	s.pmu.RLock()
@@ -253,11 +305,34 @@ func (s *Stream) Drain() error {
 	}
 	select {
 	case <-barrier:
-		return nil
+		return s.DurabilityErr()
 	case <-s.done:
 		return ErrClosed
 	}
 }
+
+// DurabilityErr returns the first durability-hook failure, if any. It is
+// sticky: once the write-ahead log has failed, the stream is degraded
+// (publication stalls on the unloggable batch) and should be restarted.
+func (s *Stream) DurabilityErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.durErr
+}
+
+func (s *Stream) recordDurErr(err error) {
+	s.logFailures.Add(1)
+	s.mu.Lock()
+	if s.durErr == nil {
+		s.durErr = err
+	}
+	s.mu.Unlock()
+}
+
+// Graph exposes the graph the stream mutates. It must not be touched
+// while the stream is running (the worker goroutine owns it); durability
+// helpers use it after Close to cut a final checkpoint.
+func (s *Stream) Graph() *graph.Graph { return s.g }
 
 // Close drains the queue, flushes the pending micro-batch, publishes the
 // final snapshot and stops the worker. It is idempotent; only the first
@@ -295,6 +370,7 @@ func (s *Stream) Metrics() Metrics {
 		Batches:          s.batches.Value(),
 		Throughput:       s.window.Rate(),
 		MeanBatchLatency: s.window.MeanDuration(),
+		LogFailures:      s.logFailures.Value(),
 		Engine:           agg,
 	}
 }
@@ -310,13 +386,36 @@ func (s *Stream) loop() {
 	timer.Stop()
 	var timerC <-chan time.Time
 
-	flush := func() {
+	// flush logs (when durable), applies and publishes the pending batch.
+	// final marks the shutdown flush, where an unloggable batch is dropped
+	// with a sticky error (crash-equivalent) instead of retried forever.
+	flush := func(final bool) {
 		if timerC != nil {
 			timer.Stop()
 			timerC = nil
 		}
 		if len(pending) == 0 {
 			return
+		}
+		prev := s.snap.Load()
+		// Write-ahead: the batch must be durable before it is applied and
+		// before its snapshot becomes visible. On failure the batch stays
+		// pending — later updates keep accumulating behind it and the
+		// queue's backpressure reaches the producers — and the time
+		// trigger retries, in case the log recovers (disk full, ...).
+		if s.cfg.Durability != nil {
+			if err := s.cfg.Durability.LogBatch(prev.Seq+1, pending); err != nil {
+				s.recordDurErr(err)
+				if final {
+					pending = nil
+					return
+				}
+				if s.cfg.MaxDelay > 0 {
+					timer.Reset(s.cfg.MaxDelay)
+					timerC = timer.C
+				}
+				return
+			}
 		}
 		batch := pending
 		pending = nil
@@ -328,7 +427,6 @@ func (s *Stream) loop() {
 		}
 		elapsed := time.Since(start)
 
-		prev := s.snap.Load()
 		states := prev.States
 		if !applied.Empty() {
 			states = copyStates(s.sys.States())
@@ -340,6 +438,11 @@ func (s *Stream) loop() {
 			At:      time.Now(),
 		}
 		s.snap.Store(snap)
+		if s.cfg.Durability != nil {
+			if err := s.cfg.Durability.AfterBatch(snap.Seq, snap.Updates, s.g, snap.States); err != nil {
+				s.recordDurErr(err)
+			}
+		}
 
 		s.applied.Add(int64(len(batch)))
 		s.batches.Add(1)
@@ -377,18 +480,18 @@ func (s *Stream) loop() {
 						scooping = false
 					}
 				}
-				flush()
+				flush(true)
 				for _, b := range barriers {
 					close(b)
 				}
 				return
 			case it.flush != nil:
-				flush()
+				flush(false)
 				close(it.flush)
 			default:
 				pending = append(pending, it.upd)
 				if len(pending) >= s.cfg.MaxBatch {
-					flush()
+					flush(false)
 				} else if len(pending) == 1 && s.cfg.MaxDelay > 0 {
 					timer.Reset(s.cfg.MaxDelay)
 					timerC = timer.C
@@ -396,7 +499,7 @@ func (s *Stream) loop() {
 			}
 		case <-timerC:
 			timerC = nil
-			flush()
+			flush(false)
 		}
 	}
 }

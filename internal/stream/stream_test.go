@@ -517,3 +517,186 @@ func TestMetricsCarryParallelCounters(t *testing.T) {
 		t.Fatalf("PoolUtilization not a ratio after aggregation: %v", m.Engine.PoolUtilization)
 	}
 }
+
+// --- durability hook ----------------------------------------------------
+
+// recordingDurable captures every hook invocation in order, optionally
+// failing the first failLog LogBatch calls.
+type recordingDurable struct {
+	mu      sync.Mutex
+	events  []string // "log <seq>" / "after <seq>"
+	logged  []uint64
+	updates int
+	after   []uint64
+	failLog int
+	errLog  error
+}
+
+func (d *recordingDurable) LogBatch(seq uint64, b delta.Batch) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failLog > 0 {
+		d.failLog--
+		return d.errLog
+	}
+	d.events = append(d.events, "log")
+	d.logged = append(d.logged, seq)
+	d.updates += len(b)
+	return nil
+}
+
+func (d *recordingDurable) AfterBatch(seq, updates uint64, g *graph.Graph, states []float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.events = append(d.events, "after")
+	d.after = append(d.after, seq)
+	return nil
+}
+
+// Every published snapshot must be preceded by a LogBatch of its batch:
+// the logged seqs are contiguous from StartSeq+1, each AfterBatch follows
+// its LogBatch, and the logged update total equals the applied total.
+func TestDurableLogsBeforePublish(t *testing.T) {
+	g := testGraph(11)
+	seq := updateSeq(g, 2000, 12)
+	sys := ingress.New(g, algo.NewSSSP(0), engine.Options{Workers: 1})
+	dur := &recordingDurable{}
+	var published []uint64
+	s := New(g, sys, Config{
+		MaxBatch: 128, MaxDelay: -1, Durability: dur,
+		OnBatch: func(br BatchResult) {
+			// OnBatch runs on the worker after publish: the batch's seq
+			// must already be in the durable log.
+			dur.mu.Lock()
+			n := len(dur.logged)
+			last := uint64(0)
+			if n > 0 {
+				last = dur.logged[n-1]
+			}
+			dur.mu.Unlock()
+			if last < br.Seq {
+				t.Errorf("snapshot %d published before its batch was logged (last logged %d)", br.Seq, last)
+			}
+			published = append(published, br.Seq)
+		},
+	})
+	for _, u := range seq {
+		if err := s.Push(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	s.Close()
+
+	dur.mu.Lock()
+	defer dur.mu.Unlock()
+	if len(dur.logged) == 0 {
+		t.Fatal("nothing logged")
+	}
+	for i, sq := range dur.logged {
+		if sq != uint64(i+1) {
+			t.Fatalf("logged seq[%d] = %d, want %d (contiguous from 1)", i, sq, i+1)
+		}
+	}
+	if dur.updates != len(seq) {
+		t.Fatalf("logged %d updates, want %d", dur.updates, len(seq))
+	}
+	if len(dur.after) != len(dur.logged) {
+		t.Fatalf("%d AfterBatch calls vs %d LogBatch calls", len(dur.after), len(dur.logged))
+	}
+	for i := 0; i+1 < len(dur.events); i += 2 {
+		if dur.events[i] != "log" || dur.events[i+1] != "after" {
+			t.Fatalf("hook order %v at %d: want strict log/after alternation", dur.events[i:i+2], i)
+		}
+	}
+	if m := s.Metrics(); m.LogFailures != 0 {
+		t.Fatalf("LogFailures = %d on a healthy log", m.LogFailures)
+	}
+}
+
+// A failing write-ahead log must stall publication (no snapshot advances
+// past durable state) and surface as a sticky error, and a recovered log
+// must then flush the accumulated batch.
+func TestDurableLogFailureStallsThenRecovers(t *testing.T) {
+	g := testGraph(13)
+	seq := updateSeq(g, 300, 14)
+	sys := ingress.New(g, algo.NewSSSP(0), engine.Options{Workers: 1})
+	dur := &recordingDurable{failLog: 2, errLog: errFull}
+	s := New(g, sys, Config{MaxBatch: 64, MaxDelay: 5 * time.Millisecond, Durability: dur})
+	for _, u := range seq[:100] {
+		if err := s.Push(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The first two flush attempts fail; the time trigger retries until
+	// the "disk" recovers, then everything pushed lands in one batch.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Query().Seq == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot never advanced after log recovery")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.DurabilityErr(); err == nil {
+		t.Fatal("sticky durability error not recorded")
+	}
+	if m := s.Metrics(); m.LogFailures < 2 {
+		t.Fatalf("LogFailures = %d, want >= 2", m.LogFailures)
+	}
+	// Drain reports the degraded state even though the batch now flushed.
+	if err := s.Drain(); err == nil {
+		t.Fatal("Drain returned nil on a degraded stream")
+	}
+	dur.mu.Lock()
+	logged := dur.updates
+	dur.mu.Unlock()
+	if logged != 100 {
+		t.Fatalf("logged %d updates after recovery, want 100", logged)
+	}
+	snap := s.Query()
+	if snap.Updates != 100 {
+		t.Fatalf("snapshot updates = %d, want 100", snap.Updates)
+	}
+	s.Close()
+}
+
+var errFull = errFullT{}
+
+type errFullT struct{}
+
+func (errFullT) Error() string { return "wal: disk full (injected)" }
+
+// StartSeq/StartUpdates/StartStats resume a recovered stream's counters
+// instead of restarting from zero.
+func TestStartCountersResume(t *testing.T) {
+	g := testGraph(15)
+	seq := updateSeq(g, 200, 16)
+	sys := ingress.New(g, algo.NewSSSP(0), engine.Options{Workers: 1})
+	start := inc.Stats{Activations: 77, Rounds: 3, ReplayedBatches: 5}
+	s := New(g, sys, Config{
+		MaxBatch: 100, MaxDelay: -1,
+		StartSeq: 42, StartUpdates: 9000, StartStats: start,
+	})
+	defer s.Close()
+	if snap := s.Query(); snap.Seq != 42 || snap.Updates != 9000 {
+		t.Fatalf("initial snapshot seq=%d updates=%d, want 42/9000", snap.Seq, snap.Updates)
+	}
+	for _, u := range seq[:100] {
+		if err := s.Push(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Query()
+	if snap.Seq != 43 || snap.Updates != 9100 {
+		t.Fatalf("post-batch snapshot seq=%d updates=%d, want 43/9100", snap.Seq, snap.Updates)
+	}
+	m := s.Metrics()
+	if m.Engine.ReplayedBatches != 5 || m.Engine.Activations < 77 {
+		t.Fatalf("engine aggregate %+v did not fold in StartStats", m.Engine)
+	}
+}

@@ -1,0 +1,284 @@
+package wal
+
+// Fault-injection tests: every corruption a crash (or bad disk) can
+// leave behind must map to the documented recovery behavior — torn
+// tails truncate to the last valid record, mid-history loss fails
+// loudly as a sequence gap, and a damaged checkpoint falls back to an
+// older one.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"strings"
+	"testing"
+
+	"layph/internal/delta"
+)
+
+// encodeRecord frames one record exactly as Log.LogBatch does — an
+// independent reimplementation so the tests also pin the wire format.
+func encodeRecord(t *testing.T, seq uint64, batch delta.Batch) []byte {
+	t.Helper()
+	var payload bytes.Buffer
+	if err := delta.WriteUpdates(&payload, batch); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [recordHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint64(hdr[4:12], seq)
+	crc := crc32.ChecksumIEEE(hdr[4:12])
+	crc = crc32.Update(crc, crc32.IEEETable, payload.Bytes())
+	binary.LittleEndian.PutUint32(hdr[12:16], crc)
+	return append(hdr[:], payload.Bytes()...)
+}
+
+// writeSegment hand-writes a segment file from framed records.
+func writeSegment(t *testing.T, path string, recs ...[]byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range recs {
+		buf.Write(r)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seededDir builds a dir with a seq-0 checkpoint and one segment holding
+// records 1..n, then returns the segment path and per-record byte sizes.
+func seededDir(t *testing.T, n int) (dir, seg string, recSizes []int) {
+	t.Helper()
+	dir = t.TempDir()
+	g := testGraph(t)
+	if err := writeCheckpoint(dir, 0, 0, "", g, make([]float64, 6)); err != nil {
+		t.Fatal(err)
+	}
+	seg = segmentPath(dir, 1)
+	var recs [][]byte
+	for seq := 1; seq <= n; seq++ {
+		r := encodeRecord(t, uint64(seq), batchN(uint64(seq), 2))
+		recs = append(recs, r)
+		recSizes = append(recSizes, len(r))
+	}
+	writeSegment(t, seg, recs...)
+	return dir, seg, recSizes
+}
+
+// Truncation anywhere inside the final record — header or payload —
+// drops exactly that record and reports the discarded bytes.
+func TestTornTailTruncation(t *testing.T) {
+	for _, cut := range []int{1, recordHeaderBytes - 1, recordHeaderBytes, recordHeaderBytes + 3} {
+		dir, seg, sizes := seededDir(t, 3)
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastStart := len(data) - sizes[2]
+		torn := data[:lastStart+cut]
+		if err := os.WriteFile(seg, torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Recover(dir)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if len(rec.Tail) != 2 || rec.Tail[1].Seq != 2 {
+			t.Fatalf("cut=%d: tail %+v, want seqs 1,2", cut, rec.Tail)
+		}
+		if rec.DiscardedBytes != int64(cut) {
+			t.Fatalf("cut=%d: discarded %d bytes, want %d", cut, rec.DiscardedBytes, cut)
+		}
+	}
+}
+
+// A flipped byte in the final record's payload fails its CRC; the record
+// and everything after it is discarded as a torn tail.
+func TestCRCMismatchDiscardsTail(t *testing.T) {
+	dir, seg, sizes := seededDir(t, 3)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStart := len(data) - sizes[2]
+	data[lastStart+recordHeaderBytes] ^= 0x40 // first payload byte of record 3
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Tail) != 2 {
+		t.Fatalf("tail %+v, want 2 records", rec.Tail)
+	}
+	if rec.DiscardedBytes != int64(sizes[2]) {
+		t.Fatalf("discarded %d, want %d", rec.DiscardedBytes, sizes[2])
+	}
+}
+
+// A corrupt length field cannot be trusted to skip anywhere sane: the
+// scan must stop rather than read garbage as a record boundary.
+func TestGarbageLengthFieldStopsScan(t *testing.T) {
+	dir, seg, sizes := seededDir(t, 2)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondStart := len(data) - sizes[1]
+	binary.LittleEndian.PutUint32(data[secondStart:], 0xFFFFFFFF)
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Tail) != 1 || rec.Tail[0].Seq != 1 {
+		t.Fatalf("tail %+v, want just seq 1", rec.Tail)
+	}
+	if rec.DiscardedBytes != int64(sizes[1]) {
+		t.Fatalf("discarded %d, want %d", rec.DiscardedBytes, sizes[1])
+	}
+}
+
+// Corruption in a NON-final segment is not a torn tail: the records it
+// destroys are followed by durable ones, so truncating would silently
+// drop acknowledged batches from the middle of history. Recovery must
+// refuse with ErrSeqGap.
+func TestTornMidHistoryIsSeqGap(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t)
+	if err := writeCheckpoint(dir, 0, 0, "", g, make([]float64, 6)); err != nil {
+		t.Fatal(err)
+	}
+	r1 := encodeRecord(t, 1, batchN(1, 2))
+	r2 := encodeRecord(t, 2, batchN(2, 2))
+	r3 := encodeRecord(t, 3, batchN(3, 2))
+	// Segment wal-1 holds records 1..3 but record 3 is torn off mid-way;
+	// segment wal-4 holds records 4..5 intact.
+	writeSegment(t, segmentPath(dir, 1), r1, r2, r3[:len(r3)-5])
+	writeSegment(t, segmentPath(dir, 4),
+		encodeRecord(t, 4, batchN(4, 2)), encodeRecord(t, 5, batchN(5, 2)))
+	_, err := Recover(dir)
+	if !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("mid-history tear gave %v, want ErrSeqGap", err)
+	}
+}
+
+// A segment whose first needed record is past checkpoint+1 (e.g. a
+// deleted or lost segment in between) is the same gap.
+func TestMissingSegmentIsSeqGap(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t)
+	if err := writeCheckpoint(dir, 0, 0, "", g, make([]float64, 6)); err != nil {
+		t.Fatal(err)
+	}
+	writeSegment(t, segmentPath(dir, 3), encodeRecord(t, 3, batchN(3, 2)))
+	_, err := Recover(dir)
+	if !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("missing records 1-2 gave %v, want ErrSeqGap", err)
+	}
+}
+
+// Records at or below the checkpoint seq are covered by it: stale
+// segments replay nothing and duplicates are impossible by construction.
+func TestRecordsCoveredByCheckpointSkipped(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t)
+	if err := writeCheckpoint(dir, 2, 4, "", g, make([]float64, 6)); err != nil {
+		t.Fatal(err)
+	}
+	writeSegment(t, segmentPath(dir, 1),
+		encodeRecord(t, 1, batchN(1, 2)), encodeRecord(t, 2, batchN(2, 2)),
+		encodeRecord(t, 3, batchN(3, 2)))
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CheckpointSeq != 2 || len(rec.Tail) != 1 || rec.Tail[0].Seq != 3 {
+		t.Fatalf("ckpt=%d tail=%+v, want ckpt 2 and tail [3]", rec.CheckpointSeq, rec.Tail)
+	}
+}
+
+// A corrupted newest checkpoint falls back to the previous one, and the
+// tail re-extends accordingly. With no loadable checkpoint at all,
+// recovery reports the verification failure.
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t)
+	states := make([]float64, 6)
+	if err := writeCheckpoint(dir, 0, 0, "", g, states); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCheckpoint(dir, 2, 4, "", g, states); err != nil {
+		t.Fatal(err)
+	}
+	writeSegment(t, segmentPath(dir, 1),
+		encodeRecord(t, 1, batchN(1, 2)), encodeRecord(t, 2, batchN(2, 2)))
+	writeSegment(t, segmentPath(dir, 3), encodeRecord(t, 3, batchN(3, 2)))
+
+	// Healthy: newest checkpoint wins, only record 3 replays.
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CheckpointSeq != 2 || len(rec.Tail) != 1 {
+		t.Fatalf("healthy: ckpt=%d tail=%d", rec.CheckpointSeq, len(rec.Tail))
+	}
+
+	// Flip a byte inside checkpoint-2: recovery falls back to seq 0 and
+	// replays all three records.
+	path := checkpointPath(dir, 2)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CheckpointSeq != 0 || len(rec.Tail) != 3 {
+		t.Fatalf("fallback: ckpt=%d tail=%d, want 0 and 3", rec.CheckpointSeq, len(rec.Tail))
+	}
+
+	// Corrupt the older one too: now nothing loads and the error names
+	// the cause.
+	path0 := checkpointPath(dir, 0)
+	data0, err := os.ReadFile(path0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data0[len(data0)/2] ^= 0x01
+	if err := os.WriteFile(path0, data0, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(dir); err == nil || !strings.Contains(err.Error(), "no loadable checkpoint") {
+		t.Fatalf("all-corrupt gave %v", err)
+	}
+}
+
+// An empty batch is a legal record (heartbeat/no-op flush) and must
+// round-trip without confusing the scanner.
+func TestEmptyBatchRecord(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t)
+	if err := writeCheckpoint(dir, 0, 0, "", g, make([]float64, 6)); err != nil {
+		t.Fatal(err)
+	}
+	writeSegment(t, segmentPath(dir, 1),
+		encodeRecord(t, 1, delta.Batch{}), encodeRecord(t, 2, batchN(2, 1)))
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Tail) != 2 || len(rec.Tail[0].Batch) != 0 || rec.Tail[1].Seq != 2 {
+		t.Fatalf("tail %+v", rec.Tail)
+	}
+}

@@ -1,0 +1,489 @@
+// Package wal is the durability layer of the streaming engine: an
+// append-only write-ahead log of micro-batches plus periodic snapshot
+// checkpoints, so a crashed process recovers by loading the latest valid
+// checkpoint and replaying the WAL tail instead of rebuilding everything
+// from nothing.
+//
+// # On-disk layout
+//
+// One directory per stream:
+//
+//	checkpoint-<seq>.ckpt   graph + state vector + counters at seq
+//	wal-<seq>.log           batch records whose first seq is <seq>
+//
+// A new WAL segment is started at every checkpoint, so a segment named
+// wal-<s>.log contains only records with seq >= s, and every record in
+// segments older than the newest checkpoint is covered by it. Obsolete
+// checkpoints and segments are pruned after each successful checkpoint.
+//
+// # Record framing
+//
+// Each WAL record is
+//
+//	[4B little-endian payload length]
+//	[8B little-endian batch seq]
+//	[4B IEEE CRC32 over the seq bytes followed by the payload]
+//	[payload]
+//
+// where the payload is the micro-batch in delta's text wire format (one
+// update per line, see delta.ParseUpdate). Recovery stops at the first
+// record whose header or payload is truncated or whose CRC mismatches:
+// a torn tail — the expected artifact of crashing mid-append — yields
+// the longest valid prefix, and the discarded byte count is reported.
+// Records never straddle segment files.
+//
+// # Fsync policy
+//
+// Appends go through a buffered writer that is flushed to the OS on
+// every batch; SyncPolicy controls when fdatasync makes them storage-
+// durable: SyncEveryBatch before each append returns (full durability,
+// pays an fsync per micro-batch), SyncInterval at most once per
+// Config.Interval (bounded loss window), SyncOff never (contents survive
+// a process crash but not an OS crash).
+//
+// # Crash-consistency contract
+//
+// LogBatch(seq) returns only after the record is written (and synced,
+// per policy); the stream publishes snapshot seq strictly afterwards, so
+// recovery — checkpoint load, then tail replay in seq order — always
+// reaches at least the last published snapshot. Checkpoints are written
+// to a temp file and atomically renamed, so a crash mid-checkpoint
+// leaves the previous one intact; a trailing CRC line guards the file's
+// integrity on load.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"layph/internal/delta"
+	"layph/internal/graph"
+)
+
+// SyncPolicy selects when appended records are fsynced to storage.
+type SyncPolicy uint8
+
+const (
+	// SyncEveryBatch fsyncs before every LogBatch returns (default).
+	SyncEveryBatch SyncPolicy = iota
+	// SyncInterval fsyncs at most once per Config.Interval; a crash can
+	// lose at most one interval's worth of acknowledged batches.
+	SyncInterval
+	// SyncOff never fsyncs: appends are flushed to the OS page cache
+	// only. Survives a process kill, not a machine crash.
+	SyncOff
+)
+
+// String names the policy for logs and metrics.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncEveryBatch:
+		return "batch"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParseSyncPolicy parses the CLI spelling of a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "batch":
+		return SyncEveryBatch, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want batch|interval|off)", s)
+}
+
+// Config tunes a Log. The zero value gives sane defaults.
+type Config struct {
+	// Sync is the fsync policy (default SyncEveryBatch).
+	Sync SyncPolicy
+	// Interval is the SyncInterval period (0 = 100ms).
+	Interval time.Duration
+	// CheckpointEvery cuts a checkpoint after this many logged batches
+	// (0 = 64; negative disables periodic checkpoints).
+	CheckpointEvery int
+	// Meta is a free-form workload tag ("algo=sssp system=layph ...")
+	// stored in every checkpoint, so recovery can detect an engine
+	// mismatch before serving wrong states.
+	Meta string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 64
+	}
+	return c
+}
+
+// Stats is a point-in-time summary of WAL activity.
+type Stats struct {
+	// Batches/Updates/Bytes count appended records, the unit updates in
+	// them, and the framed bytes written.
+	Batches, Updates, Bytes int64
+	// Fsyncs counts fdatasync calls on the live segment.
+	Fsyncs int64
+	// Checkpoints counts checkpoints cut (including the Start one);
+	// LastCheckpointSeq is the seq of the newest, and CheckpointSeconds
+	// the cumulative wall-clock time spent writing them.
+	Checkpoints       int64
+	LastCheckpointSeq uint64
+	CheckpointSeconds float64
+	// Failures counts append/checkpoint errors surfaced to the stream.
+	Failures int64
+	// Policy echoes the configured fsync policy.
+	Policy string
+}
+
+// Log is the append side of the durability layer. It implements the
+// stream.Durable interface: LogBatch before each apply, AfterBatch (the
+// checkpoint trigger) after each publish. All methods are safe for one
+// writer goroutine plus concurrent Stats readers.
+type Log struct {
+	dir string
+	cfg Config
+
+	mu        sync.Mutex
+	f         *os.File
+	segPath   string // path of the live segment
+	bw        *bufWriter
+	seq       uint64 // last appended seq
+	lastSync  time.Time
+	sinceCkpt int
+	stats     Stats
+}
+
+// bufWriter is a small fixed wrapper so flushing and counting live in
+// one place.
+type bufWriter struct {
+	buf []byte
+	f   *os.File
+}
+
+func (b *bufWriter) write(p []byte) {
+	b.buf = append(b.buf, p...)
+}
+
+func (b *bufWriter) flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	_, err := b.f.Write(b.buf)
+	b.buf = b.buf[:0]
+	return err
+}
+
+const (
+	recordHeaderBytes = 16
+	// maxRecordBytes caps a record payload; recovery treats a bigger
+	// declared length as corruption instead of allocating it.
+	maxRecordBytes = 64 << 20
+)
+
+// Open prepares the durability directory: it creates dir if needed and,
+// when durable state exists, loads the latest valid checkpoint plus the
+// WAL tail into a Recovered (nil for a fresh directory). The caller
+// replays the tail (Recovered.Tail) through its engine and then calls
+// Start, which cuts a fresh checkpoint at the recovered position and
+// begins a new segment; only then is the Log ready for LogBatch.
+func Open(dir string, cfg Config) (*Log, *Recovered, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{dir: dir, cfg: cfg.withDefaults()}
+	l.stats.Policy = l.cfg.Sync.String()
+	return l, rec, nil
+}
+
+// Start cuts a checkpoint of the current state (seq/updates counters,
+// graph, converged states) and opens a fresh segment for records seq+1
+// and up. For a fresh directory the caller passes its initial state
+// (seq 0); after recovery it passes the replayed position. Pre-existing
+// segments and older checkpoints are pruned — everything they held is
+// covered by the new checkpoint.
+func (l *Log) Start(seq, updates uint64, g *graph.Graph, states []float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		return errors.New("wal: Start called twice")
+	}
+	if err := l.checkpointLocked(seq, updates, g, states); err != nil {
+		return err
+	}
+	l.seq = seq
+	l.sinceCkpt = 0
+	return nil
+}
+
+// LogBatch appends one micro-batch record and makes it durable per the
+// sync policy. seq must be contiguous (last seq + 1): the stream is the
+// single writer and any gap is a programming error that would corrupt
+// recovery, so it fails loudly.
+func (l *Log) LogBatch(seq uint64, batch delta.Batch) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return l.fail(errors.New("wal: LogBatch before Start"))
+	}
+	if seq != l.seq+1 {
+		return l.fail(fmt.Errorf("wal: non-contiguous batch seq %d after %d", seq, l.seq))
+	}
+	var payload bytes.Buffer
+	if err := delta.WriteUpdates(&payload, batch); err != nil {
+		// A corrupt update must fail the append, not be silently
+		// dropped: acking it would persist less than was accepted.
+		return l.fail(fmt.Errorf("wal: encode batch %d: %w", seq, err))
+	}
+	var hdr [recordHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint64(hdr[4:12], seq)
+	crc := crc32.ChecksumIEEE(hdr[4:12])
+	crc = crc32.Update(crc, crc32.IEEETable, payload.Bytes())
+	binary.LittleEndian.PutUint32(hdr[12:16], crc)
+
+	l.bw.write(hdr[:])
+	l.bw.write(payload.Bytes())
+	if err := l.bw.flush(); err != nil {
+		return l.fail(fmt.Errorf("wal: append batch %d: %w", seq, err))
+	}
+	switch l.cfg.Sync {
+	case SyncEveryBatch:
+		if err := l.f.Sync(); err != nil {
+			return l.fail(fmt.Errorf("wal: fsync batch %d: %w", seq, err))
+		}
+		l.stats.Fsyncs++
+		l.lastSync = time.Now()
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.cfg.Interval {
+			if err := l.f.Sync(); err != nil {
+				return l.fail(fmt.Errorf("wal: fsync batch %d: %w", seq, err))
+			}
+			l.stats.Fsyncs++
+			l.lastSync = time.Now()
+		}
+	}
+	l.seq = seq
+	l.stats.Batches++
+	l.stats.Updates += int64(len(batch))
+	l.stats.Bytes += int64(recordHeaderBytes + payload.Len())
+	return nil
+}
+
+// AfterBatch is the stream's post-publish hook: it counts batches toward
+// the checkpoint trigger and cuts one when CheckpointEvery is reached.
+func (l *Log) AfterBatch(seq, updates uint64, g *graph.Graph, states []float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sinceCkpt++
+	if l.cfg.CheckpointEvery <= 0 || l.sinceCkpt < l.cfg.CheckpointEvery {
+		return nil
+	}
+	if err := l.checkpointLocked(seq, updates, g, states); err != nil {
+		// The WAL already holds every batch; a failed checkpoint only
+		// lengthens the next recovery, so report and carry on logging
+		// into the current segment.
+		return err
+	}
+	l.sinceCkpt = 0
+	return nil
+}
+
+// Checkpoint cuts a checkpoint at the given position outside the
+// periodic schedule — e.g. the final checkpoint of a clean shutdown,
+// after the stream has been closed (making the next start replay-free).
+func (l *Log) Checkpoint(seq, updates uint64, g *graph.Graph, states []float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkpointLocked(seq, updates, g, states); err != nil {
+		return err
+	}
+	l.sinceCkpt = 0
+	return nil
+}
+
+// checkpointLocked writes checkpoint-<seq>.ckpt atomically, rotates to a
+// fresh segment wal-<seq+1>.log, and prunes everything the new
+// checkpoint covers. Must hold l.mu.
+func (l *Log) checkpointLocked(seq, updates uint64, g *graph.Graph, states []float64) error {
+	start := time.Now()
+	if err := writeCheckpoint(l.dir, seq, updates, l.cfg.Meta, g, states); err != nil {
+		return l.fail(err)
+	}
+	// Rotate: further records go to a segment strictly newer than the
+	// checkpoint, so pruning stays segment-granular. When the live
+	// segment already IS wal-<seq+1> (a checkpoint at an unchanged seq,
+	// e.g. clean shutdown right after the last one), it holds no records
+	// and is simply kept.
+	target := segmentPath(l.dir, seq+1)
+	if l.f == nil || l.segPath != target {
+		if l.f != nil {
+			if err := l.bw.flush(); err != nil {
+				return l.fail(err)
+			}
+			if l.cfg.Sync != SyncOff {
+				if err := l.f.Sync(); err != nil {
+					return l.fail(err)
+				}
+				l.stats.Fsyncs++
+			}
+			if err := l.f.Close(); err != nil {
+				return l.fail(err)
+			}
+			l.f = nil
+		}
+		// O_TRUNC: a pre-existing wal-<seq+1> can only hold torn garbage
+		// (any valid record in it would have been replayed, putting the
+		// recovered position past seq); truncating makes the torn-tail
+		// discard permanent instead of appending live records behind it.
+		f, err := os.OpenFile(target, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return l.fail(fmt.Errorf("wal: open segment: %w", err))
+		}
+		l.f = f
+		l.segPath = target
+		l.bw = &bufWriter{f: f}
+	}
+	l.lastSync = time.Now()
+	if err := syncDir(l.dir); err != nil {
+		return l.fail(err)
+	}
+	pruneObsolete(l.dir, seq)
+	l.stats.Checkpoints++
+	l.stats.LastCheckpointSeq = seq
+	l.stats.CheckpointSeconds += time.Since(start).Seconds()
+	return nil
+}
+
+// Close flushes and syncs the live segment and releases the file. It
+// does not checkpoint; pair with Checkpoint for a clean shutdown.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	var first error
+	if err := l.bw.flush(); err != nil {
+		first = err
+	}
+	if l.cfg.Sync != SyncOff {
+		if err := l.f.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := l.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	l.f = nil
+	return first
+}
+
+// Dir returns the durability directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Stats returns a snapshot of the WAL counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+func (l *Log) fail(err error) error {
+	l.stats.Failures++
+	return err
+}
+
+// --- directory helpers --------------------------------------------------
+
+func segmentPath(dir string, firstSeq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016d.log", firstSeq))
+}
+
+func checkpointPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%016d.ckpt", seq))
+}
+
+// pruneObsolete removes checkpoints older than seq and segments whose
+// records are all covered by the checkpoint at seq (best-effort: a
+// leftover file only wastes space, recovery skips covered records).
+func pruneObsolete(dir string, seq uint64) {
+	cks, segs, _ := scanDir(dir)
+	for _, c := range cks {
+		if c < seq {
+			os.Remove(checkpointPath(dir, c))
+		}
+	}
+	for _, s := range segs {
+		if s <= seq {
+			os.Remove(segmentPath(dir, s))
+		}
+	}
+}
+
+// scanDir lists checkpoint seqs and segment first-seqs, ascending.
+func scanDir(dir string) (checkpoints, segments []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		var n uint64
+		switch {
+		case len(name) == len("checkpoint-0000000000000000.ckpt") &&
+			name[:11] == "checkpoint-" && filepath.Ext(name) == ".ckpt":
+			if _, err := fmt.Sscanf(name, "checkpoint-%d.ckpt", &n); err == nil {
+				checkpoints = append(checkpoints, n)
+			}
+		case len(name) == len("wal-0000000000000000.log") &&
+			name[:4] == "wal-" && filepath.Ext(name) == ".log":
+			if _, err := fmt.Sscanf(name, "wal-%d.log", &n); err == nil {
+				segments = append(segments, n)
+			}
+		}
+	}
+	sortU64(checkpoints)
+	sortU64(segments)
+	return checkpoints, segments, nil
+}
+
+func sortU64(x []uint64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}
+
+// syncDir fsyncs a directory so renames and creates survive a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
