@@ -23,6 +23,7 @@ import (
 	"layph/internal/gen"
 	"layph/internal/graph"
 	"layph/internal/inc"
+	"layph/internal/shard"
 )
 
 func main() {
@@ -40,6 +41,7 @@ type engineFlags struct {
 	scale                               float64
 	source                              uint
 	threads                             int
+	shards                              int
 }
 
 func registerEngineFlags(fs *flag.FlagSet) *engineFlags {
@@ -47,10 +49,11 @@ func registerEngineFlags(fs *flag.FlagSet) *engineFlags {
 	fs.StringVar(&ef.graphPath, "graph", "", "edge-list file (overrides -preset)")
 	fs.StringVar(&ef.preset, "preset", "UK", "generated preset: UK, IT, SK, WB")
 	fs.Float64Var(&ef.scale, "scale", 0.25, "preset scale factor")
-	fs.StringVar(&ef.algoName, "algo", "sssp", "sssp | bfs | pagerank | php")
+	fs.StringVar(&ef.algoName, "algo", "sssp", "sssp | bfs | cc | pagerank | php")
 	fs.StringVar(&ef.system, "system", "layph", "layph | ingress | kickstarter | risgraph | graphbolt | dzig | restart")
 	fs.UintVar(&ef.source, "source", 0, "source vertex for sssp/bfs/php")
 	fs.IntVar(&ef.threads, "threads", 0, "worker threads (0 = GOMAXPROCS)")
+	fs.IntVar(&ef.shards, "shards", 0, "community-aware shard count (0 = unsharded; >1 overrides -system)")
 	return ef
 }
 
@@ -78,6 +81,9 @@ func (ef *engineFlags) loadGraph() *graph.Graph {
 // the graph may come from a recovered checkpoint instead of -graph.
 func (ef *engineFlags) buildOn(g *graph.Graph) (inc.System, *core.Layph) {
 	mk := makeAlgo(ef.algoName, graph.VertexID(ef.source))
+	if ef.shards > 1 {
+		return shard.New(g, mk(), shard.Options{Shards: ef.shards, Threads: ef.threads}), nil
+	}
 	return bench.Build(bench.SystemKind(ef.system), g, mk, ef.threads)
 }
 
@@ -125,6 +131,8 @@ func makeAlgo(name string, source graph.VertexID) bench.AlgoMaker {
 			return algo.NewSSSP(source)
 		case "bfs":
 			return algo.NewBFS(source)
+		case "cc":
+			return algo.NewCC()
 		case "pagerank":
 			return algo.NewPageRank(0.85, 1e-6)
 		case "php":

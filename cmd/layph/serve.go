@@ -28,6 +28,7 @@ import (
 	"layph/internal/graph"
 	"layph/internal/inc"
 	"layph/internal/server"
+	"layph/internal/shard"
 	"layph/internal/stream"
 	"layph/internal/wal"
 )
@@ -90,6 +91,9 @@ func serveMain(args []string) {
 		// The workload tag pins the directory to this algo/engine/source
 		// combination; resuming it under a different one is refused.
 		meta := fmt.Sprintf("algo=%s system=%s source=%d", ef.algoName, ef.system, ef.source)
+		if ef.shards > 1 {
+			meta += fmt.Sprintf(" shards=%d", ef.shards)
+		}
 		if hasDurableState(*walDir) {
 			fmt.Printf("wal: recovering from %s (-graph/-preset ignored)\n", *walDir)
 		} else {
@@ -213,6 +217,9 @@ func daemonMain(s *stream.Stream, dur *layph.DurableStream, addr string, idCap g
 	if dur != nil {
 		srv.AttachDurability(dur.Log, dur.Recovery)
 	}
+	if gr, ok := s.System().(server.ShardSource); ok {
+		srv.AttachShards(gr)
+	}
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "listen:", err)
 		os.Exit(1)
@@ -253,6 +260,10 @@ func printFinal(s *stream.Stream, top int) {
 	fmt.Printf("engine totals: activations=%d rounds=%d resets=%d update-time=%v subgraph-tasks=%d pool-util=%.0f%%\n",
 		m.Engine.Activations, m.Engine.Rounds, m.Engine.Resets, m.Engine.Duration.Round(time.Microsecond),
 		m.Engine.SubgraphsParallel, 100*m.Engine.PoolUtilization)
+	if gr, ok := s.System().(interface{ ShardInfos() []shard.Info }); ok {
+		fmt.Printf("shard totals: shards=%d exchange-rounds=%d boundary-pins=%d\n",
+			len(gr.ShardInfos()), m.Engine.ShardRounds, m.Engine.BoundaryPins)
+	}
 	fmt.Printf("final snapshot: seq=%d updates=%d %s\n", snap.Seq, snap.Updates, sampleStates(snap.States, top))
 }
 

@@ -43,6 +43,10 @@ type RecoveryInfo = wal.RecoveryInfo
 // ErrWALSeqGap reports unrecoverable mid-history WAL loss.
 var ErrWALSeqGap = wal.ErrSeqGap
 
+// ErrWALLocked reports that another live stream already holds the
+// durability directory (exclusive per-directory lock).
+var ErrWALLocked = wal.ErrLocked
+
 // recoveryVerifyTol is the tolerance for comparing the rebuilt engine's
 // converged states against the checkpoint's state vector. Min-semiring
 // workloads match exactly; sum-semiring ones within accumulation noise.

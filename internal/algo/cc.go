@@ -1,0 +1,38 @@
+package algo
+
+import (
+	"layph/internal/graph"
+)
+
+// CC computes connected-component labels by min-label propagation over
+// the tropical semiring: every vertex starts labeled with its own id
+// (x0 = m0 = v), edges carry the tropical one (weight 0, so F(m, 0) = m),
+// and G = min. The fixpoint labels v with the smallest vertex id that
+// reaches it; on graphs with symmetric edges these are exactly the
+// (weakly) connected components. On directed inputs the label is the
+// minimum over v's ancestors — a label-propagation variant that is still
+// a deterministic fixpoint and still maintained incrementally by the
+// dependency-tree scheme (deleting the edge a label arrived through
+// resets and relabels the downstream region).
+type CC struct{}
+
+// NewCC returns a connected-components instance.
+func NewCC() *CC { return &CC{} }
+
+// Name returns "cc".
+func (*CC) Name() string { return "cc" }
+
+// Semiring returns the tropical semiring.
+func (*CC) Semiring() Semiring { return Tropical{} }
+
+// EdgeWeight returns 0 (the tropical one): labels cross edges unchanged.
+func (*CC) EdgeWeight(_ *graph.Graph, _ graph.VertexID, _ graph.Edge) float64 { return 0 }
+
+// InitState labels every vertex with its own id.
+func (*CC) InitState(v graph.VertexID) float64 { return float64(v) }
+
+// InitMessage mirrors InitState: every vertex roots its own label.
+func (*CC) InitMessage(v graph.VertexID) float64 { return float64(v) }
+
+// Tolerance returns 0: labels converge exactly.
+func (*CC) Tolerance() float64 { return 0 }

@@ -76,6 +76,7 @@ func All() []Experiment {
 		{"stream", "Streaming: sustained micro-batched ingestion throughput, SSSP on UK", StreamingExperiment},
 		{"parallel", "Parallel: Layph incremental-update speedup vs threads, SSSP on the community graph", ParallelExperiment},
 		{"serve", "Serve: HTTP read QPS and latency under a live write stream", ServeExperiment},
+		{"shard", "Shard: update throughput and query latency vs community-aware shard count, SSSP on the community graph", ShardExperiment},
 		{"recovery", "Recovery: WAL write-path overhead per fsync policy, crash-recovery time vs checkpoint interval, SSSP on UK", RecoveryExperiment},
 	}
 }

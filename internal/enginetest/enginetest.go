@@ -133,21 +133,22 @@ func maxDiffLive(g *graph.Graph, got, want []float64) float64 {
 }
 
 // AllAlgorithms returns the four paper workloads rooted at vertex 0 where
-// applicable, keyed by name.
+// applicable, plus connected components, keyed by name.
 func AllAlgorithms() map[string]AlgoMaker {
 	return map[string]AlgoMaker{
 		"sssp":     func() algo.Algorithm { return algo.NewSSSP(0) },
 		"bfs":      func() algo.Algorithm { return algo.NewBFS(0) },
+		"cc":       func() algo.Algorithm { return algo.NewCC() },
 		"pagerank": func() algo.Algorithm { return algo.NewPageRank(0.85, 1e-10) },
 		"php":      func() algo.Algorithm { return algo.NewPHP(0, 0.8, 1e-10) },
 	}
 }
 
 // MinAlgorithms returns the idempotent workloads (KickStarter and RisGraph
-// only support these, as in the paper).
+// only support these, as in the paper; CC rides the same machinery).
 func MinAlgorithms() map[string]AlgoMaker {
 	all := AllAlgorithms()
-	return map[string]AlgoMaker{"sssp": all["sssp"], "bfs": all["bfs"]}
+	return map[string]AlgoMaker{"sssp": all["sssp"], "bfs": all["bfs"], "cc": all["cc"]}
 }
 
 // SumAlgorithms returns the non-idempotent workloads (GraphBolt and DZiG

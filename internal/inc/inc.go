@@ -58,6 +58,12 @@ type Stats struct {
 	// tail batches during crash recovery rather than live traffic. In an
 	// aggregated record it separates recovery work from serving work.
 	ReplayedBatches int64
+	// ShardRounds counts the global boundary-exchange rounds of the
+	// sharded execution mode (internal/shard only; 0 elsewhere).
+	ShardRounds int64
+	// BoundaryPins counts cross-shard boundary values exchanged between
+	// shard engines (internal/shard only; 0 elsewhere).
+	BoundaryPins int64
 }
 
 // Add accumulates another update's record into s: counters and durations
@@ -75,6 +81,8 @@ func (s *Stats) Add(o Stats) {
 	s.Resets += o.Resets
 	s.SubgraphsParallel += o.SubgraphsParallel
 	s.ReplayedBatches += o.ReplayedBatches
+	s.ShardRounds += o.ShardRounds
+	s.BoundaryPins += o.BoundaryPins
 	s.Duration += o.Duration
 }
 

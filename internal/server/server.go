@@ -46,6 +46,7 @@ import (
 
 	"layph/internal/delta"
 	"layph/internal/graph"
+	"layph/internal/shard"
 	"layph/internal/stream"
 	"layph/internal/wal"
 )
@@ -92,6 +93,7 @@ type Server struct {
 	st       atomic.Pointer[stream.Stream]
 	wal      atomic.Pointer[wal.Log]
 	recovery atomic.Pointer[wal.RecoveryInfo]
+	shards   atomic.Pointer[ShardSource]
 	draining atomic.Bool
 
 	mux       *http.ServeMux
@@ -130,6 +132,21 @@ func (s *Server) AttachDurability(l *wal.Log, info *wal.RecoveryInfo) {
 	}
 	if info != nil {
 		s.recovery.Store(info)
+	}
+}
+
+// ShardSource is the scatter-gather view a sharded engine exposes; the
+// per-shard summaries are served through /metrics. (*shard.Group
+// implements it.)
+type ShardSource interface {
+	ShardInfos() []shard.Info
+}
+
+// AttachShards exposes a sharded engine's per-shard summaries through
+// /metrics. Nil-safe.
+func (s *Server) AttachShards(src ShardSource) {
+	if src != nil {
+		s.shards.Store(&src)
 	}
 }
 
@@ -446,6 +463,9 @@ type engineMetrics struct {
 	SubgraphsParallel int64   `json:"subgraphs_parallel"`
 	PoolUtilization   float64 `json:"pool_utilization"`
 	ReplayedBatches   int64   `json:"replayed_batches,omitempty"`
+	// Sharded execution only (see internal/shard).
+	ShardRounds  int64 `json:"shard_rounds,omitempty"`
+	BoundaryPins int64 `json:"boundary_pins,omitempty"`
 }
 
 // walMetrics is the JSON shape of wal.Stats.
@@ -479,6 +499,8 @@ type metricsResponse struct {
 	// Server.AttachDurability).
 	WAL      *walMetrics       `json:"wal,omitempty"`
 	Recovery *wal.RecoveryInfo `json:"recovery,omitempty"`
+	// Shards appears only on a sharded engine (see Server.AttachShards).
+	Shards []shard.Info `json:"shards,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -512,8 +534,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			SubgraphsParallel: m.Engine.SubgraphsParallel,
 			PoolUtilization:   m.Engine.PoolUtilization,
 			ReplayedBatches:   m.Engine.ReplayedBatches,
+			ShardRounds:       m.Engine.ShardRounds,
+			BoundaryPins:      m.Engine.BoundaryPins,
 		},
 		Recovery: s.recovery.Load(),
+	}
+	if src := s.shards.Load(); src != nil {
+		resp.Shards = (*src).ShardInfos()
 	}
 	if l := s.wal.Load(); l != nil {
 		ws := l.Stats()

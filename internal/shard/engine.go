@@ -1,0 +1,290 @@
+package shard
+
+import (
+	"layph/internal/algo"
+	"layph/internal/delta"
+	"layph/internal/engine"
+	"layph/internal/graph"
+	"layph/internal/inc"
+)
+
+// pinUpdate carries an owner's published state to a shard that mirrors
+// the vertex.
+type pinUpdate struct {
+	v graph.VertexID
+	x float64
+}
+
+// shardAlgo adapts the base algorithm to one shard's view: semiring
+// weights are computed against the GLOBAL graph (PageRank's d/N⁺(u) and
+// PHP's d·w/W⁺(u) depend on the source's global degree, which the shard
+// graph does not see), owned vertices keep their real initial state and
+// root message, and mirrors are pinned — their root message is the pin
+// value the owner last published, their initial state the semiring zero.
+// The router only mutates the global graph between engine runs, so the
+// concurrent reads here are safe.
+type shardAlgo struct {
+	u *unit
+}
+
+func (s shardAlgo) Name() string            { return s.u.base.Name() }
+func (s shardAlgo) Semiring() algo.Semiring { return s.u.base.Semiring() }
+func (s shardAlgo) Tolerance() float64      { return s.u.base.Tolerance() }
+
+func (s shardAlgo) EdgeWeight(_ *graph.Graph, u graph.VertexID, e graph.Edge) float64 {
+	return s.u.base.EdgeWeight(s.u.grp.global, u, e)
+}
+
+func (s shardAlgo) InitState(v graph.VertexID) float64 {
+	if s.u.owned(v) {
+		return s.u.base.InitState(v)
+	}
+	return s.u.zero
+}
+
+func (s shardAlgo) InitMessage(v graph.VertexID) float64 {
+	if s.u.owned(v) {
+		return s.u.base.InitMessage(v)
+	}
+	if int(v) < len(s.u.pins) {
+		return s.u.pins[v]
+	}
+	return s.u.zero
+}
+
+// unit is one shard's engine: an Ingress-style incremental core over the
+// shard graph (which holds every in-edge of the vertices the shard owns),
+// extended with pinned mirror vertices. The invariant between runs is
+// x[m] == pins[m] for every mirror m; mirrors have no in-edges here, so
+// only pin updates ever move them.
+type unit struct {
+	id     int32
+	grp    *Group
+	gs     *graph.Graph
+	base   algo.Algorithm
+	sr     algo.Semiring
+	zero   float64
+	tol    float64
+	frame  *engine.Frame
+	x      []float64
+	parent []graph.VertexID // idempotent scheme only
+	pins   []float64
+	wrap   shardAlgo
+
+	// cumulative counters for Info
+	activations int64
+	rounds      int
+}
+
+func (u *unit) owned(v graph.VertexID) bool {
+	o := u.grp.owner
+	return int(v) < len(o) && o[v] == u.id
+}
+
+// newUnit builds the shard graph's engine and runs the initial batch
+// computation to its LOCAL fixpoint (all pins zero); the group's
+// construction exchange then iterates pins to the global fixpoint.
+func newUnit(id int32, grp *Group, gs *graph.Graph) *unit {
+	u := &unit{
+		id: id, grp: grp, gs: gs, base: grp.base,
+		sr: grp.sr, zero: grp.sr.Zero(), tol: grp.base.Tolerance(),
+	}
+	u.wrap = shardAlgo{u: u}
+	u.pins = make([]float64, gs.Cap())
+	for i := range u.pins {
+		u.pins[i] = u.zero
+	}
+	u.frame = engine.BuildFrame(gs, u.wrap)
+	x0, m0 := engine.InitVectors(gs, u.wrap)
+	res := engine.Run(u.frame, u.sr, x0, m0, engine.Options{
+		Workers:      grp.workers,
+		Tolerance:    u.tol,
+		TrackParents: u.sr.Idempotent(),
+	})
+	u.x = res.X
+	u.parent = res.Parent
+	u.activations += res.Activations
+	u.rounds += res.Rounds
+	return u
+}
+
+// apply replays the per-shard slice of a net batch onto the shard graph.
+// Vertex operations are broadcast to every shard (aliveness and capacity
+// stay aligned with the global graph), edge lists are pre-filtered to
+// edges this shard hosts. Capacity grown for ids that were created and
+// re-deleted within the batch is padded with dead placeholders.
+func (u *unit) apply(sub *delta.Applied, targetCap int) {
+	for u.gs.Cap() < targetCap {
+		id := u.gs.AddVertex()
+		u.gs.DeleteVertex(id)
+	}
+	for _, v := range sub.AddedVertices {
+		if !u.gs.Alive(v) {
+			u.gs.ReviveVertex(v)
+		}
+	}
+	for _, e := range sub.RemovedEdges {
+		u.gs.DeleteEdge(e.From, e.To)
+	}
+	for _, v := range sub.RemovedVertices {
+		u.gs.DeleteVertex(v)
+	}
+	for _, e := range sub.AddedEdges {
+		u.gs.AddEdge(e.From, e.To, e.W)
+	}
+}
+
+// update runs one exchange round on this shard: apply the local sub-batch
+// (round 0 only; nil on pin-only rounds), absorb incoming pin updates, and
+// iterate to the shard-local fixpoint. It returns the vertices whose state
+// may have changed — the router filters them down to owned boundary
+// vertices and fans their new values out as the next round's pins.
+//
+// Pin semantics per scheme:
+//
+//   - sum: a pin change old→new is the exact inverse-delta message
+//     (new − old) injected at the mirror; the engine accumulates it into
+//     the mirror's state and propagates the delta over its out-edges.
+//   - min: an improving pin is folded into the mirror's pending offers; a
+//     worsening pin is handled like a deleted dependency — the mirror is
+//     listed as removed so DeduceMin resets its dependency subtree, and
+//     the mirror re-seeds from its root message, which IS the new pin
+//     (shardAlgo.InitMessage). extraResets lists mirrors invalidated by
+//     the router's cross-shard tag closure; their pins are zeroed so no
+//     stale cyclic support survives (the owner republishes after its own
+//     recompute).
+func (u *unit) update(sub *delta.Applied, pins []pinUpdate, extraResets []graph.VertexID,
+	globalTouched map[graph.VertexID]struct{}) (inc.Stats, []graph.VertexID) {
+	n := u.gs.Cap()
+	u.x = inc.GrowVectors(u.x, n, u.zero)
+	u.pins = inc.GrowVectors(u.pins, n, u.zero)
+
+	empty := sub == nil
+	if empty {
+		sub = &delta.Applied{}
+	}
+	var oldLists map[graph.VertexID][]engine.WEdge
+	if !empty {
+		touched := inc.TouchedSources(sub)
+		if !u.sr.Idempotent() {
+			// Degree-coupled weights: a source's out-list change in ANY
+			// shard reweights its edges here, so refresh against the
+			// global touched set (a superset of the local one).
+			touched = globalTouched
+		}
+		oldLists = inc.RefreshFrame(u.frame, u.gs, u.wrap, touched)
+	}
+
+	var st inc.Stats
+	var candidates []graph.VertexID
+	if u.sr.Idempotent() {
+		u.parent = inc.GrowParents(u.parent, n)
+		pre := append([]float64(nil), u.x...)
+
+		eff := *sub
+		var improved []pinUpdate
+		var worsened []graph.VertexID
+		for _, m := range extraResets {
+			u.pins[m] = u.zero
+			worsened = append(worsened, m)
+		}
+		for _, p := range pins {
+			old := u.pins[p.v]
+			if p.x == old {
+				continue
+			}
+			u.pins[p.v] = p.x
+			if u.sr.Plus(old, p.x) == p.x {
+				improved = append(improved, p)
+			} else {
+				worsened = append(worsened, p.v)
+			}
+		}
+		if len(worsened) > 0 {
+			rv := make([]graph.VertexID, 0, len(eff.RemovedVertices)+len(worsened))
+			rv = append(rv, eff.RemovedVertices...)
+			rv = append(rv, worsened...)
+			eff.RemovedVertices = rv
+		}
+
+		d := inc.DeduceMin(u.x, u.parent, u.gs, u.wrap, &eff)
+		for _, p := range improved {
+			if u.sr.Plus(u.x[p.v], p.x) == u.x[p.v] {
+				continue // mirror already at least as good
+			}
+			already := d.Pending[p.v] != u.zero
+			d.Pending[p.v] = u.sr.Plus(d.Pending[p.v], p.x)
+			if !already {
+				d.Active = append(d.Active, p.v)
+			}
+		}
+		res := engine.Run(u.frame, u.sr, u.x, d.Pending, engine.Options{
+			Workers:       u.grp.workers,
+			Tolerance:     u.tol,
+			InitialActive: d.Active,
+			TrackChanged:  true,
+		})
+		u.x = res.X
+		inc.RepairParents(u.x, pre, d.ResetList, u.parent, u.gs, u.wrap)
+		candidates = append(res.Changed, d.ResetList...)
+		st = inc.Stats{
+			Activations: d.Activations + res.Activations,
+			Rounds:      res.Rounds,
+			Resets:      len(d.ResetList),
+		}
+	} else {
+		var pending []float64
+		var dedAct int64
+		if !empty {
+			pending, dedAct = inc.SumDeduction(u.x, oldLists, u.frame, u.wrap, sub)
+		} else {
+			pending = make([]float64, len(u.x))
+		}
+		for _, p := range pins {
+			old := u.pins[p.v]
+			if p.x == old {
+				continue
+			}
+			u.pins[p.v] = p.x
+			pending[p.v] += p.x - old
+		}
+		res := engine.Run(u.frame, u.sr, u.x, pending, engine.Options{
+			Workers:      u.grp.workers,
+			Tolerance:    u.tol,
+			TrackChanged: true,
+		})
+		u.x = res.X
+		for _, v := range sub.RemovedVertices {
+			u.x[v] = u.zero
+			u.pins[v] = u.zero
+		}
+		candidates = append(res.Changed, sub.RemovedVertices...)
+		st = inc.Stats{
+			Activations: dedAct + res.Activations,
+			Rounds:      res.Rounds,
+		}
+	}
+	if u.sr.Idempotent() {
+		for _, v := range sub.RemovedVertices {
+			u.pins[v] = u.zero
+		}
+	}
+	u.activations += st.Activations
+	u.rounds += st.Rounds
+	return st, candidates
+}
+
+// localTagSeeds returns the vertices this shard's sub-batch invalidates
+// directly: targets whose dependency parent is the source of a removed
+// edge, plus removed vertices. The router grows these seeds to the global
+// cross-shard reset closure before round 0 (min scheme only).
+func (u *unit) localTagSeeds(sub *delta.Applied) []graph.VertexID {
+	var seeds []graph.VertexID
+	for _, e := range sub.RemovedEdges {
+		if int(e.To) < len(u.parent) && u.parent[e.To] == e.From {
+			seeds = append(seeds, e.To)
+		}
+	}
+	seeds = append(seeds, sub.RemovedVertices...)
+	return seeds
+}

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+)
+
+// ErrLocked reports that another live Log holds the WAL directory.
+var ErrLocked = errors.New("wal: directory is locked by another live stream")
+
+// lockDir on non-unix platforms opens the breadcrumb file without an OS
+// lock: flock is unavailable, and an exclusive-create scheme would leave
+// stale locks behind after a crash — the exact case the WAL exists for.
+// Concurrent-open protection is therefore unix-only.
+func lockDir(dir string) (*os.File, error) {
+	return os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+}

@@ -1,0 +1,82 @@
+//go:build unix
+
+package wal
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDirLocking verifies the exclusive-open contract: a live Log owns
+// its directory, a second opener fails loudly with ErrLocked, and Close
+// releases the lock so a later opener succeeds.
+func TestDirLocking(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Sync: SyncOff, CheckpointEvery: -1}
+
+	l1, _, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Open(dir, cfg); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open: got err %v, want ErrLocked", err)
+	}
+
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, _, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockReleasedOnEarlyClose covers the Close-before-Start path: a Log
+// that never wrote anything must still release the directory lock.
+func TestLockReleasedOnEarlyClose(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Sync: SyncOff, CheckpointEvery: -1}
+
+	l1, _, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("Open after unstarted Close: %v", err)
+	}
+	l2.Close()
+}
+
+// TestLockFileIgnoredByRecovery makes sure the LOCK breadcrumb is never
+// confused for a segment or checkpoint during recovery or pruning.
+func TestLockFileIgnoredByRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Sync: SyncOff, CheckpointEvery: -1}
+	l, rec, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		t.Fatalf("fresh dir produced recovery %+v", rec)
+	}
+	l.Close()
+
+	// Reopen: the leftover LOCK file alone must not trigger recovery.
+	l2, rec, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		t.Fatalf("LOCK-only dir produced recovery %+v", rec)
+	}
+	l2.Close()
+}

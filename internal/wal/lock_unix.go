@@ -1,0 +1,37 @@
+//go:build unix
+
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"syscall"
+)
+
+// ErrLocked reports that another live Log (in this process or another)
+// holds the WAL directory.
+var ErrLocked = errors.New("wal: directory is locked by another live stream")
+
+// lockDir takes a non-blocking exclusive flock on <dir>/LOCK. flock is
+// bound to the open file description: a crashed process's lock vanishes
+// with its fds (no stale-lock recovery dance), while a second Open —
+// even from the same process — gets a fresh description and fails loudly.
+// The file itself is left in place; only the lock matters.
+func lockDir(dir string) (*os.File, error) {
+	path := filepath.Join(dir, "LOCK")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", ErrLocked, path)
+	}
+	// Best-effort breadcrumb for operators inspecting the directory.
+	f.Truncate(0)
+	f.WriteString(strconv.Itoa(os.Getpid()) + "\n")
+	return f, nil
+}

@@ -160,6 +160,7 @@ type Log struct {
 	cfg Config
 
 	mu        sync.Mutex
+	lock      *os.File // exclusive dir lock held from Open to Close
 	f         *os.File
 	segPath   string // path of the live segment
 	bw        *bufWriter
@@ -206,11 +207,22 @@ func Open(dir string, cfg Config) (*Log, *Recovered, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: %w", err)
 	}
-	rec, err := Recover(dir)
+	// Take the directory lock before reading anything: a second live
+	// stream appending to (or checkpointing) the same directory would
+	// interleave records and corrupt both histories. The lock is advisory
+	// per open file description, so it also rejects a second Open from
+	// the same process, and the OS releases it when a crashed process
+	// dies — crash recovery never meets a stale lock.
+	lock, err := lockDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	l := &Log{dir: dir, cfg: cfg.withDefaults()}
+	rec, err := Recover(dir)
+	if err != nil {
+		lock.Close()
+		return nil, nil, err
+	}
+	l := &Log{dir: dir, cfg: cfg.withDefaults(), lock: lock}
 	l.stats.Policy = l.cfg.Sync.String()
 	return l, rec, nil
 }
@@ -379,11 +391,19 @@ func (l *Log) checkpointLocked(seq, updates uint64, g *graph.Graph, states []flo
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.f == nil {
-		return nil
-	}
+	// Release the directory lock even when Start was never called (the
+	// durable-open error paths Close a Log that has no live segment).
 	var first error
-	if err := l.bw.flush(); err != nil {
+	if l.lock != nil {
+		if err := l.lock.Close(); err != nil {
+			first = err
+		}
+		l.lock = nil
+	}
+	if l.f == nil {
+		return first
+	}
+	if err := l.bw.flush(); err != nil && first == nil {
 		first = err
 	}
 	if l.cfg.Sync != SyncOff {

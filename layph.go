@@ -55,6 +55,7 @@ import (
 	"layph/internal/kickstarter"
 	"layph/internal/risgraph"
 	"layph/internal/server"
+	"layph/internal/shard"
 	"layph/internal/stream"
 )
 
@@ -120,6 +121,13 @@ func PageRank(d, tol float64) Algorithm { return algo.NewPageRank(d, tol) }
 
 // PHP returns penalized hitting probability from source with decay d.
 func PHP(source VertexID, d, tol float64) Algorithm { return algo.NewPHP(source, d, tol) }
+
+// CC returns connected-component labels by min-label propagation: each
+// vertex converges to the smallest vertex id that reaches it (the weakly
+// connected component label on graphs with symmetric edges). It runs on
+// the same min-semiring machinery as SSSP/BFS, so every min-scheme engine
+// supports it.
+func CC() Algorithm { return algo.NewCC() }
 
 // Run executes the algorithm on the graph from scratch and returns the
 // converged states — the paper's "Restart" baseline.
@@ -252,6 +260,50 @@ var (
 // by pushing updates into the stream.
 func NewStream(g *Graph, sys System, cfg StreamConfig) *Stream {
 	return stream.New(g, sys, cfg)
+}
+
+// ShardedGroup is the multi-shard execution mode: K community-partitioned
+// engines exchanging boundary state (see internal/shard). It implements
+// System.
+type ShardedGroup = shard.Group
+
+// ShardInfo is a per-shard summary exposed through ShardedGroup.ShardInfos
+// and the HTTP /metrics endpoint.
+type ShardInfo = shard.Info
+
+// ShardConfig tunes sharded execution.
+type ShardConfig struct {
+	// Shards is K, the number of partitioned engines (0 or 1 = one).
+	Shards int
+	// Threads is the worker count of each shard engine (0 = GOMAXPROCS).
+	Threads int
+	// MaxCommunitySize caps community size for the shard packing
+	// (0 = the paper's default, ~0.1% of |V|).
+	MaxCommunitySize int
+}
+
+// NewShardedSystem partitions g into cfg.Shards community-aware shards,
+// runs one incremental engine per shard, and routes cross-shard edges
+// through boundary vertices exchanged at skeleton level each batch. The
+// determinism contract matches Config.Threads: with Shards and Threads
+// fixed, min-semiring results are byte-identical across runs; sum-semiring
+// results (and results across different shard counts) agree within the
+// algorithm's convergence tolerance.
+func NewShardedSystem(g *Graph, a Algorithm, cfg ShardConfig) *ShardedGroup {
+	return shard.New(g, a, shard.Options{
+		Shards:    cfg.Shards,
+		Threads:   cfg.Threads,
+		Community: community.Config{MaxSize: cfg.MaxCommunitySize},
+	})
+}
+
+// NewShardedStream is NewStream over a sharded execution group: incoming
+// micro-batches are split by destination shard, the shard engines run
+// concurrently, and every published snapshot is the deterministic merge of
+// one global exchange round — so /query reads spanning shards are always
+// mutually consistent.
+func NewShardedStream(g *Graph, a Algorithm, cfg ShardConfig, scfg StreamConfig) *Stream {
+	return stream.New(g, NewShardedSystem(g, a, cfg), scfg)
 }
 
 // ParseUpdate parses one line of the text wire format used by `layph

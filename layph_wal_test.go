@@ -7,6 +7,7 @@ package layph
 // must equal a from-scratch Restart run on the same prefix of updates.
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -291,6 +292,41 @@ func TestOpenStreamMetaMismatchRefused(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if err := ds2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenStreamDirLocked verifies the exclusive-directory contract at
+// the facade level: while a durable stream is live, a second OpenStream
+// on the same directory fails with ErrWALLocked; after Close it succeeds.
+func TestOpenStreamDirLocked(t *testing.T) {
+	g := GenerateCommunityGraph(CommunityGraphConfig{
+		Vertices: 200, MeanCommunity: 20, IntraDegree: 5, InterDegree: 0.4,
+		Weighted: true, Seed: 95,
+	})
+	dir := t.TempDir()
+	build := func(g *Graph) System { return NewIngress(g, SSSP(0), 1) }
+	ds, err := OpenStream(g, build, DurableStreamConfig{
+		Dir: dir, WAL: WALConfig{Sync: SyncOff, Meta: "algo=sssp"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStream(g.Clone(), build, DurableStreamConfig{
+		Dir: dir, WAL: WALConfig{Sync: SyncOff, Meta: "algo=sssp"},
+	}); !errors.Is(err, ErrWALLocked) {
+		t.Fatalf("second OpenStream: got err %v, want ErrWALLocked", err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := OpenStream(nil, build, DurableStreamConfig{
+		Dir: dir, WAL: WALConfig{Sync: SyncOff, Meta: "algo=sssp"},
+	})
+	if err != nil {
+		t.Fatalf("OpenStream after Close: %v", err)
 	}
 	if err := ds2.Close(); err != nil {
 		t.Fatal(err)
