@@ -49,6 +49,13 @@ func serveMain(args []string) {
 		maxVertex = fs.Uint("maxvertex", 0, "reject updates referencing vertex ids >= this (0 = |V| + 1048576)")
 		listen    = fs.String("listen", "", "serve the HTTP API on this address (e.g. 127.0.0.1:8090) until SIGINT")
 
+		relayer        = fs.Bool("relayer", false, "adaptive re-layering drift controller: background full re-layer + atomic swap when layering quality decays (pairs with -adaptive)")
+		relayerTouched = fs.Float64("relayer-touched", 0, "touched-subgraph-ratio EWMA trigger threshold (0 = 0.35)")
+		relayerGrowth  = fs.Float64("relayer-skeleton-growth", 0, "skeleton-fraction growth factor over the post-build baseline that triggers (0 = 1.5)")
+		relayerDead    = fs.Float64("relayer-dead", 0, "dead community-id fraction that triggers (0 = 0.5)")
+		relayerMinB    = fs.Int("relayer-min-batches", 0, "cooldown: applied batches after a (re)build before triggers re-arm (0 = 16)")
+		relayerSwapLag = fs.Int("relayer-swap-lag", 0, "applied batches between trigger and the deterministic swap boundary (0 = 8)")
+
 		walDir        = fs.String("wal", "", "durability directory: write-ahead log + checkpoints; a restart on the same directory recovers and resumes")
 		ckptEvery     = fs.Int("checkpoint-every", 64, "cut a snapshot checkpoint after this many micro-batches (with -wal)")
 		fsync         = fs.String("fsync", "batch", "WAL fsync policy: batch | interval | off (with -wal)")
@@ -74,6 +81,22 @@ func serveMain(args []string) {
 	scfg := stream.Config{
 		MaxBatch: *maxBatch, MaxDelay: *maxDelay,
 		QueueCap: *queueCap, Policy: pol,
+	}
+	if *relayer {
+		scfg.Relayer = &stream.RelayerConfig{
+			// The rebuild hook is the same construction path as the serving
+			// engine, so a swap lands an identically-configured engine (with
+			// fresh community detection) over the cloned graph.
+			Build: func(g2 *graph.Graph) inc.System {
+				sys, _ := ef.buildOn(g2)
+				return sys
+			},
+			TouchedRatioThreshold: *relayerTouched,
+			SkeletonGrowthFactor:  *relayerGrowth,
+			DeadCommunityFraction: *relayerDead,
+			MinBatches:            *relayerMinB,
+			SwapLagBatches:        *relayerSwapLag,
+		}
 	}
 
 	buildStart := time.Now()
@@ -264,6 +287,11 @@ func printFinal(s *stream.Stream, top int) {
 		fmt.Printf("shard totals: shards=%d exchange-rounds=%d boundary-pins=%d\n",
 			len(gr.ShardInfos()), m.Engine.ShardRounds, m.Engine.BoundaryPins)
 	}
+	if rl := m.Relayer; rl.Enabled {
+		fmt.Printf("relayer totals: full-relayers=%d replayed-batches=%d touched-ewma=%.3f skeleton=%.3f/%.3f moves=%d last-trigger=%s\n",
+			rl.FullRelayers, rl.ReplayedBatches, rl.TouchedRatioEWMA,
+			rl.SkeletonFraction, rl.SkeletonBaseline, rl.MembershipMoves, rl.LastTrigger)
+	}
 	fmt.Printf("final snapshot: seq=%d updates=%d %s\n", snap.Seq, snap.Updates, sampleStates(snap.States, top))
 }
 
@@ -332,10 +360,14 @@ func feed(s *stream.Stream, input string, randN int, seed int64, g *graph.Graph,
 func printReport(s *stream.Stream, top int) {
 	snap := s.Query()
 	m := s.Metrics()
-	fmt.Printf("t=%s seq=%-6d applied=%-9d rate=%.0f/s batch-lat=%v subs-par=%d pool-util=%.0f%% %s\n",
+	relayers := ""
+	if m.Relayer.Enabled {
+		relayers = fmt.Sprintf(" relayers=%d", m.Relayer.FullRelayers)
+	}
+	fmt.Printf("t=%s seq=%-6d applied=%-9d rate=%.0f/s batch-lat=%v subs-par=%d pool-util=%.0f%%%s %s\n",
 		time.Now().Format("15:04:05"), snap.Seq, m.Applied, m.Throughput,
 		m.MeanBatchLatency.Round(time.Microsecond), m.Engine.SubgraphsParallel,
-		100*m.Engine.PoolUtilization, sampleStates(snap.States, top))
+		100*m.Engine.PoolUtilization, relayers, sampleStates(snap.States, top))
 }
 
 func sampleStates(x []float64, top int) string {

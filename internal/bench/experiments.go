@@ -78,6 +78,7 @@ func All() []Experiment {
 		{"serve", "Serve: HTTP read QPS and latency under a live write stream", ServeExperiment},
 		{"shard", "Shard: update throughput and query latency vs community-aware shard count, SSSP on the community graph", ShardExperiment},
 		{"recovery", "Recovery: WAL write-path overhead per fsync policy, crash-recovery time vs checkpoint interval, SSSP on UK", RecoveryExperiment},
+		{"drift", "Drift: update latency and touched-subgraph-ratio trend under community-migration churn, frozen vs adaptive vs relayer, SSSP on the community graph", DriftExperiment},
 	}
 }
 

@@ -217,6 +217,125 @@ func TestAdjustNewVertexJoinsNeighborCommunity(t *testing.T) {
 	}
 }
 
+// TestAdjustDeterministic pins the determinism fix: identical graph,
+// partition, and batch sequence must produce byte-identical assignments
+// across repeated runs. Before the fix, the local-move loop ranged over a
+// Go map, so tie-broken community choices depended on iteration order.
+func TestAdjustDeterministic(t *testing.T) {
+	g0, _ := plantedGraph(23, 400, 30)
+	p0 := Detect(g0, Config{MaxSize: 80})
+	run := func() []int32 {
+		g := g0.Clone()
+		p := &Partition{Comm: append([]int32(nil), p0.Comm...), NumComms: p0.NumComms}
+		genr := delta.NewGenerator(7)
+		for i := 0; i < 8; i++ {
+			batch := genr.EdgeBatch(g, 60, true)
+			batch = append(batch, genr.VertexBatch(g, 5, 3, 3, true)...)
+			applied := delta.Apply(g, batch)
+			Adjust(g, p, Config{MaxSize: 80}, applied)
+		}
+		return append([]int32(nil), p.Comm...)
+	}
+	want := run()
+	for rep := 0; rep < 5; rep++ {
+		got := run()
+		if len(got) != len(want) {
+			t.Fatalf("rep %d: assignment length %d != %d", rep, len(got), len(want))
+		}
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("rep %d: vertex %d assigned %d, want %d (nondeterministic tie-break)", rep, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestAdjustDetailedMovesMatchAssignment cross-checks the move log: replaying
+// Moved over the pre-adjust assignment must reproduce the post-adjust one.
+func TestAdjustDetailedMovesMatchAssignment(t *testing.T) {
+	g, _ := plantedGraph(29, 300, 30)
+	p := Detect(g, Config{MaxSize: 60})
+	genr := delta.NewGenerator(3)
+	for i := 0; i < 6; i++ {
+		before := append([]int32(nil), p.Comm...)
+		batch := genr.EdgeBatch(g, 50, false)
+		batch = append(batch, genr.VertexBatch(g, 4, 3, 3, false)...)
+		applied := delta.Apply(g, batch)
+		res := AdjustDetailed(g, p, Config{MaxSize: 60}, applied)
+		replay := append([]int32(nil), before...)
+		for len(replay) < len(p.Comm) {
+			replay = append(replay, NoCommunity)
+		}
+		for _, m := range res.Moved {
+			if replay[m.V] != m.From {
+				t.Fatalf("batch %d: move %+v expects From=%d but vertex was in %d", i, m, m.From, replay[m.V])
+			}
+			replay[m.V] = m.To
+			if m.From >= 0 {
+				if _, ok := res.Changed[m.From]; !ok {
+					t.Fatalf("batch %d: move %+v source community not in Changed", i, m)
+				}
+			}
+			if m.To >= 0 {
+				if _, ok := res.Changed[m.To]; !ok {
+					t.Fatalf("batch %d: move %+v target community not in Changed", i, m)
+				}
+			}
+		}
+		for v := range p.Comm {
+			if replay[v] != p.Comm[v] {
+				t.Fatalf("batch %d: replayed assignment diverges at %d: %d != %d", i, v, replay[v], p.Comm[v])
+			}
+		}
+	}
+}
+
+// TestAdjustLongChurnBoundedComms pins the dead-id-leak fix: under sustained
+// churn NumComms grows monotonically (ids are stable between re-layers), but
+// periodic Compact — the stand-in for a full re-layer — must reclaim dead ids
+// and keep the live count bounded by the vertex count.
+func TestAdjustLongChurnBoundedComms(t *testing.T) {
+	g, _ := plantedGraph(31, 300, 25)
+	p := Detect(g, Config{MaxSize: 60})
+	genr := delta.NewGenerator(5)
+	maxAfterCompact := 0
+	for i := 0; i < 40; i++ {
+		batch := genr.EdgeBatch(g, 40, false)
+		batch = append(batch, genr.VertexBatch(g, 6, 6, 3, false)...)
+		applied := delta.Apply(g, batch)
+		Adjust(g, p, Config{MaxSize: 60}, applied)
+		if p.LiveComms() > p.NumComms {
+			t.Fatalf("round %d: live %d > NumComms %d", i, p.LiveComms(), p.NumComms)
+		}
+		if i%10 == 9 {
+			before := append([]int32(nil), p.Comm...)
+			remap := p.Compact()
+			if p.NumComms != p.LiveComms() {
+				t.Fatalf("round %d: Compact left %d ids for %d live communities", i, p.NumComms, p.LiveComms())
+			}
+			for v, c := range before {
+				switch {
+				case c < 0 && p.Comm[v] != NoCommunity:
+					t.Fatalf("round %d: Compact assigned dead/fresh vertex %d", i, v)
+				case c >= 0 && p.Comm[v] != remap[c]:
+					t.Fatalf("round %d: vertex %d remapped to %d, want remap[%d]=%d", i, v, p.Comm[v], c, remap[c])
+				}
+			}
+			if p.NumComms > maxAfterCompact {
+				maxAfterCompact = p.NumComms
+			}
+		}
+	}
+	if maxAfterCompact > g.Cap() {
+		t.Fatalf("compacted NumComms %d exceeds vertex capacity %d", maxAfterCompact, g.Cap())
+	}
+	// The real assertion: churn created and emptied many singleton ids; after
+	// the final compaction the id space must be dense again.
+	if p.NumComms != p.LiveComms() {
+		t.Fatalf("final: %d ids vs %d live communities", p.NumComms, p.LiveComms())
+	}
+}
+
 func TestAdjustIsolatedNewVertexGetsSingleton(t *testing.T) {
 	g, _ := plantedGraph(19, 200, 25)
 	p := Detect(g, Config{})

@@ -1,9 +1,31 @@
 package community
 
 import (
+	"sort"
+
 	"layph/internal/delta"
 	"layph/internal/graph"
 )
+
+// VertexMove records one vertex changing community during AdjustDetailed.
+// From/To carry NoCommunity when the vertex had no community before (fresh
+// vertices) or has none after (removed vertices).
+type VertexMove struct {
+	V    graph.VertexID
+	From int32
+	To   int32
+}
+
+// AdjustResult is the full outcome of an incremental adjustment.
+type AdjustResult struct {
+	// Changed is the set of community ids whose membership changed
+	// (including ids that only gained or only lost vertices).
+	Changed map[int32]struct{}
+	// Moved lists every vertex whose assignment changed, in deterministic
+	// evaluation order. Callers maintaining per-community member indexes
+	// can apply these records without rescanning the whole assignment.
+	Moved []VertexMove
+}
 
 // Adjust incrementally maintains a partition after a graph update, in the
 // spirit of DynaMo / C-Blondel: instead of re-running detection from
@@ -11,13 +33,20 @@ import (
 // re-evaluated with Louvain local moves against the current partition.
 // Community ids are kept stable — the layered-graph updater relies on id
 // stability to localize shortcut recomputation. Emptied communities keep
-// their (now unused) id; vertices moving to a fresh singleton get a new id.
+// their (now unused) id until the next full re-layer compacts them;
+// vertices moving to a fresh singleton get a new id.
 //
 // It returns the set of community ids whose membership changed (including
 // ids that gained or lost vertices), which is exactly the set of subgraphs
 // whose layer structures must be refreshed.
 func Adjust(g *graph.Graph, p *Partition, cfg Config, applied *delta.Applied) map[int32]struct{} {
-	changed := make(map[int32]struct{})
+	return AdjustDetailed(g, p, cfg, applied).Changed
+}
+
+// AdjustDetailed is Adjust plus the per-vertex move log (see AdjustResult).
+func AdjustDetailed(g *graph.Graph, p *Partition, cfg Config, applied *delta.Applied) AdjustResult {
+	res := AdjustResult{Changed: make(map[int32]struct{})}
+	changed := res.Changed
 	// Grow the assignment for fresh vertices.
 	for len(p.Comm) < g.Cap() {
 		p.Comm = append(p.Comm, NoCommunity)
@@ -36,7 +65,7 @@ func Adjust(g *graph.Graph, p *Partition, cfg Config, applied *delta.Applied) ma
 		}
 	})
 	if total2 == 0 {
-		return changed
+		return res
 	}
 
 	newCommunity := func(v graph.VertexID) int32 {
@@ -62,6 +91,7 @@ func Adjust(g *graph.Graph, p *Partition, cfg Config, applied *delta.Applied) ma
 		if c := p.Comm[v]; c >= 0 {
 			changed[c] = struct{}{}
 			p.Comm[v] = NoCommunity
+			res.Moved = append(res.Moved, VertexMove{V: v, From: c, To: NoCommunity})
 		}
 	}
 
@@ -89,7 +119,13 @@ func Adjust(g *graph.Graph, p *Partition, cfg Config, applied *delta.Applied) ma
 		add(e.From)
 		add(e.To)
 	}
+	// Evaluate candidates in ascending vertex id. Earlier moves shift the
+	// community aggregates seen by later candidates, and delta.Applied's
+	// net summaries come out of maps in arbitrary order — without a pinned
+	// evaluation order the final assignment would differ run to run.
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
 
+	var nbr []int32 // neighbor-community scratch, reused across candidates
 	for _, v := range cands {
 		// Weight from v to each neighbor community.
 		wTo := make(map[int32]float64)
@@ -114,14 +150,24 @@ func Adjust(g *graph.Graph, p *Partition, cfg Config, applied *delta.Applied) ma
 		if cur >= 0 {
 			bestGain = wTo[cur] - dv*ctot[cur]/total2
 		}
-		for c, w := range wTo {
+		// Scan candidate communities in ascending id order so that ties
+		// (gains within MinGain of each other) resolve to the lowest id
+		// regardless of Go's map iteration order. This is what keeps the
+		// determinism contract (byte-identical min-scheme runs at fixed
+		// Threads) intact when adjustment runs inside the live pipeline.
+		nbr = nbr[:0]
+		for c := range wTo {
+			nbr = append(nbr, c)
+		}
+		sort.Slice(nbr, func(i, j int) bool { return nbr[i] < nbr[j] })
+		for _, c := range nbr {
 			if c == cur {
 				continue
 			}
 			if cfg.MaxSize > 0 && csize[c]+1 > cfg.MaxSize {
 				continue
 			}
-			if gain := w - dv*ctot[c]/total2; gain > bestGain+cfg.minGain() {
+			if gain := wTo[c] - dv*ctot[c]/total2; gain > bestGain+cfg.minGain() {
 				bestGain = gain
 				best = c
 			}
@@ -133,12 +179,17 @@ func Adjust(g *graph.Graph, p *Partition, cfg Config, applied *delta.Applied) ma
 		case best >= 0 && best != cur:
 			if cur >= 0 {
 				changed[cur] = struct{}{}
-				p.Comm[v] = NoCommunity
 			}
+			p.Comm[v] = NoCommunity
 			attach(v, best)
+			res.Moved = append(res.Moved, VertexMove{V: v, From: cur, To: best})
 		case cur < 0 && best < 0:
-			attach(v, newCommunity(v))
+			id := newCommunity(v)
+			// newCommunity already set the assignment; attach re-sets it and
+			// records the aggregates + changed mark.
+			attach(v, id)
+			res.Moved = append(res.Moved, VertexMove{V: v, From: NoCommunity, To: id})
 		}
 	}
-	return changed
+	return res
 }

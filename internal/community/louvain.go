@@ -85,6 +85,47 @@ func (p *Partition) Sizes() []int {
 	return out
 }
 
+// LiveComms returns the number of community ids with at least one member.
+// Under incremental adjustment (AdjustDetailed) ids are stable, so emptied
+// communities keep their slot; the gap between LiveComms and NumComms is
+// the dead-id bloat that Compact (or a full re-layer) reclaims.
+func (p *Partition) LiveComms() int {
+	live := 0
+	for _, n := range p.Sizes() {
+		if n > 0 {
+			live++
+		}
+	}
+	return live
+}
+
+// Compact densely renumbers community ids in ascending old-id order,
+// dropping ids that no longer have members, and returns the old→new
+// mapping (dropped ids map to NoCommunity). This is the id-reclamation
+// point of the id-stability contract: ids are stable between re-layers,
+// and a full re-layer (or an explicit Compact) is the only place they are
+// recycled — callers holding per-community state must renumber through
+// the returned mapping.
+func (p *Partition) Compact() []int32 {
+	remap := make([]int32, p.NumComms)
+	next := int32(0)
+	for c, n := range p.Sizes() {
+		if n > 0 {
+			remap[c] = next
+			next++
+		} else {
+			remap[c] = NoCommunity
+		}
+	}
+	for v, c := range p.Comm {
+		if c >= 0 {
+			p.Comm[v] = remap[c]
+		}
+	}
+	p.NumComms = int(next)
+	return remap
+}
+
 // louvainState is the weighted undirected projection Louvain operates on.
 type louvainState struct {
 	n      int
@@ -183,14 +224,21 @@ func (s *louvainState) moveVertex(v int32, cfg Config) bool {
 	// factors dropped since we only compare.
 	m2 := s.total2
 	baseGain := wTo[cur] - s.deg[v]*s.ctot[cur]/m2
-	for c, w := range wTo {
+	// Ascending-id candidate scan with a strict improvement test: ties within
+	// MinGain resolve to the lowest community id, independent of map order.
+	cands := make([]int32, 0, len(wTo))
+	for c := range wTo {
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	for _, c := range cands {
 		if c == cur {
 			continue
 		}
 		if cfg.MaxSize > 0 && s.csize[c]+s.size[v] > cfg.MaxSize {
 			continue
 		}
-		gain := (w - s.deg[v]*s.ctot[c]/m2) - baseGain
+		gain := (wTo[c] - s.deg[v]*s.ctot[c]/m2) - baseGain
 		if gain > bestGain+cfg.minGain() {
 			bestGain = gain
 			best = c

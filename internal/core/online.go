@@ -47,6 +47,25 @@ func (l *Layph) Update(applied *delta.Applied) inc.Stats {
 	}
 	l.LastActs["online"] = st.Activations - before
 	l.LastPhases = ph
+
+	// Layering-quality gauges (the stream drift controller's inputs).
+	// SkeletonFraction is an O(flatN) scan, matching the per-update cost
+	// profile Update already has (state snapshots are O(flatN) too).
+	st.MembershipMoves = d.membershipMoves
+	live, up := 0, 0
+	for v := 0; v < l.flatN(); v++ {
+		vid := graph.VertexID(v)
+		if l.flatAlive(vid) {
+			live++
+			if l.onUp(vid) {
+				up++
+			}
+		}
+	}
+	if live > 0 {
+		st.SkeletonFraction = float64(up) / float64(live)
+	}
+
 	st.Duration = time.Since(start)
 	st.PoolUtilization = pool.Utilization(poolBefore, l.pool.Stats(), st.Duration, l.pool.Size())
 	if l.opt.SelfCheck {
@@ -215,6 +234,15 @@ func (l *Layph) updateSum(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 	for _, v := range applied.RemovedVertices {
 		l.x[v] = 0
 	}
+
+	// Quality gauges: the sum scheme's assignment iterates all subgraphs (and
+	// every replay contributes exactly its delta), so the honest touched set
+	// is the subgraphs whose interior the upload had to enter, and the
+	// shortcut hit rate is the diagnostic constant 1.
+	if len(l.subs) > 0 {
+		st.TouchedSubgraphRatio = float64(len(d.affectedSubs)) / float64(len(l.subs))
+	}
+	st.ShortcutHitRate = 1
 }
 
 // uploadSumSubgraph runs the local fixpoint of one affected subgraph,
@@ -276,6 +304,8 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 
 	var localChanged []graph.VertexID
 	var lupChanged []graph.VertexID
+	var triggered []*Subgraph // assignment-phase subgraphs (hoisted for the quality gauges)
+	var scApps, scHits int64  // shortcut replays / improving replays
 	resetsBySub := make(map[int32]bool)
 	// Active subgraphs (filled during upload; lup-iteration consults the
 	// set to route the offer candidates the local fixpoints did not consume)
@@ -503,7 +533,6 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 		// vertices — disjoint across subgraphs. The min-replay outcome is
 		// order-independent, so the parallel result equals the sequential
 		// one.
-		var triggered []*Subgraph
 		for _, s := range subgraphList(l.subs) {
 			trigger := resetsBySub[s.ID]
 			if !trigger {
@@ -551,6 +580,8 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 		grp.Wait()
 		for _, r := range results {
 			st.Activations += r.acts
+			scApps += r.acts
+			scHits += int64(len(r.repaired))
 			for _, v := range r.repaired {
 				sc.repair.add(v)
 			}
@@ -558,6 +589,25 @@ func (l *Layph) updateMin(applied *delta.Applied, d *layeredDiff, ph *metrics.Ph
 	})
 
 	actsMark("assignment", mark)
+
+	// Quality gauges: the touched set is every subgraph whose interior this
+	// update entered — upload work (structure-affected or reset-holding) plus
+	// assignment replays. The hit rate is the fraction of shortcut replays
+	// that improved their target; as memoized state drifts from the live
+	// community structure it decays toward 0 (1 when nothing was replayed).
+	touchedSubs := len(active)
+	for _, s := range triggered {
+		if _, ok := active[s.ID]; !ok {
+			touchedSubs++
+		}
+	}
+	if len(l.subs) > 0 {
+		st.TouchedSubgraphRatio = float64(touchedSubs) / float64(len(l.subs))
+	}
+	st.ShortcutHitRate = 1
+	if scApps > 0 {
+		st.ShortcutHitRate = float64(scHits) / float64(scApps)
+	}
 
 	// Dependency-parent repair for every vertex whose state may have moved.
 	// States are final by now and each repair writes only parent[v], so the

@@ -12,8 +12,11 @@ import (
 // structure in sync with the already-applied batch. It
 //
 //   - grows the flat ID space for fresh vertices (they join Lup as outliers;
-//     memberships are frozen between full rebuilds, as the paper prescribes:
-//     "we update the dense subgraphs only when enough ΔG are accumulated"),
+//     by default memberships are frozen between full rebuilds, as the paper
+//     prescribes: "we update the dense subgraphs only when enough ΔG are
+//     accumulated" — with Options.AdaptiveCommunities the adaptMembership
+//     phase instead migrates memberships incrementally and forces rebuilds
+//     of the drifted subgraphs),
 //   - rebuilds the structure (roles, proxies, local frames, shortcuts) of
 //     every dense subgraph touched by the batch — shortcut deletion,
 //     addition and reweighting from the paper collapse into this local
@@ -41,6 +44,9 @@ type layeredDiff struct {
 	rebuiltSubs map[int32]*Subgraph
 	// shortcutActivations counts F applications spent maintaining shortcuts.
 	shortcutActivations int64
+	// membershipMoves counts the vertices the adaptive community adjustment
+	// migrated during this update (0 when AdaptiveCommunities is off).
+	membershipMoves int64
 	// parallelSubs counts the subgraph tasks dispatched to the worker pool
 	// during shortcut maintenance (rebuilds + incremental updates).
 	parallelSubs int64
@@ -62,6 +68,16 @@ func (l *Layph) layeredUpdate(applied *delta.Applied) *layeredDiff {
 	sc.dirtyRoles.reset(l.flatN())
 	sc.oldSeen.reset(l.flatN())
 	sc.oldRows = sc.oldRows[:0]
+
+	// Adaptive phase: evolve the community partition with the batch and
+	// migrate subgraph membership before any flat row is refreshed, so the
+	// first refresh pass snapshots true pre-batch routing and the rebuilt
+	// rows already reflect the new memberships. Subgraphs whose membership
+	// changed are force-rebuilt below.
+	var forcedRebuild []int32
+	if l.opt.AdaptiveCommunities {
+		forcedRebuild, d.membershipMoves = l.adaptMembership(applied)
+	}
 
 	// Pass 1: refresh the flat lists of sources whose out-edges (or, for
 	// degree-dependent weights, out-weights) changed: sources of changed
@@ -159,6 +175,12 @@ func (l *Layph) layeredUpdate(applied *delta.Applied) *layeredDiff {
 			}
 		}
 	}
+	// Membership drift forces a structural rebuild regardless of role or
+	// replication flips (this includes subgraphs freshly promoted by
+	// adaptMembership, whose frames don't exist yet).
+	for _, c := range forcedRebuild {
+		markRebuild(c)
+	}
 	// Role flips among diff endpoints. roleCands is the current dirtyRoles
 	// prefix (capacity-clamped: the set keeps growing below).
 	nCands := len(sc.dirtyRoles.list)
@@ -212,9 +234,10 @@ func (l *Layph) layeredUpdate(applied *delta.Applied) *layeredDiff {
 		markRebuild(subOfSafe(v))
 	}
 
-	// Rebuild phase: memberships stay frozen; proxies are re-decided, the
-	// local frame and every shortcut of the subgraph are re-deduced.
-	// Sorted order keeps fresh proxy IDs reproducible between runs.
+	// Rebuild phase: memberships are taken as-is (frozen, or already
+	// migrated by adaptMembership); proxies are re-decided, the local frame
+	// and every shortcut of the subgraph are re-deduced. Sorted order keeps
+	// fresh proxy IDs reproducible between runs.
 	rebuildIDs := make([]int32, 0, len(rebuild))
 	for c := range rebuild {
 		rebuildIDs = append(rebuildIDs, c)

@@ -336,6 +336,89 @@ func (gen *Generator) VertexBatch(g *graph.Graph, adds, dels, wiring int, weight
 	return b
 }
 
+// MigrationBatch builds a community-migration churn batch, the drift
+// workload for adaptive re-layering: a cluster of size live vertices
+// around a random pivot is moved into a different community
+// neighborhood — ALL of each cluster vertex's existing out- and
+// in-edges are deleted, and rewire out- plus rewire in-edges to the
+// neighborhood of a random anchor vertex are added, so each mover
+// detaches completely and knits densely into the anchor's community.
+// Detaching completely matters: a mover that kept even part of its old
+// neighborhood would leave a permanent trail of cross-community edges,
+// degrading modularity in a way no re-layering could recover. Using the
+// anchor's actual adjacency as the target (instead of a vertex-ID
+// window) keeps the migration inside one real community regardless of
+// ID layout, so sustained churn preserves the graph's community
+// structure while steadily invalidating any frozen membership — exactly
+// the layering-drift regime the relayer exists for.
+func (gen *Generator) MigrationBatch(g *graph.Graph, size, rewire int, weighted bool) Batch {
+	live := liveVertices(g)
+	if len(live) < 4 || size <= 0 || rewire <= 0 {
+		return nil
+	}
+	var b Batch
+	pivot := gen.rng.Intn(len(live))
+
+	// Target pool: a random anchor plus its distinct neighbors (both
+	// directions), topped up with random live vertices when the anchor
+	// is sparse.
+	anchor := live[gen.rng.Intn(len(live))]
+	seen := map[graph.VertexID]bool{anchor: true}
+	pool := []graph.VertexID{anchor}
+	addTo := func(v graph.VertexID) {
+		if !seen[v] {
+			seen[v] = true
+			pool = append(pool, v)
+		}
+	}
+	for _, e := range g.Out(anchor) {
+		addTo(e.To)
+	}
+	for _, e := range g.In(anchor) {
+		// In-edge entries carry the source in .To (mirror convention).
+		addTo(e.To)
+	}
+	for tries := 0; len(pool) < rewire+1 && tries < 4*rewire; tries++ {
+		addTo(live[gen.rng.Intn(len(live))])
+	}
+
+	for i := 0; i < size; i++ {
+		u := live[(pivot+i)%len(live)]
+		for _, e := range g.Out(u) {
+			b = append(b, Update{Kind: DelEdge, U: u, V: e.To})
+		}
+		for _, e := range g.In(u) {
+			b = append(b, Update{Kind: DelEdge, U: e.To, V: u})
+		}
+		// Distinct targets per direction (duplicate adds would collapse
+		// into weight updates and the mover's degree — and the graph's
+		// edge count — would silently shrink under sustained churn).
+		for dir := 0; dir < 2; dir++ {
+			picked := 0
+			for _, off := range gen.rng.Perm(len(pool)) {
+				if picked == rewire {
+					break
+				}
+				v := pool[off]
+				if v == u {
+					continue
+				}
+				picked++
+				w := 1.0
+				if weighted {
+					w = 1 + 9*gen.rng.Float64()
+				}
+				if dir == 0 {
+					b = append(b, Update{Kind: AddEdge, U: u, V: v, W: w})
+				} else {
+					b = append(b, Update{Kind: AddEdge, U: v, V: u, W: w})
+				}
+			}
+		}
+	}
+	return b
+}
+
 // UnitSequence builds an ordered sequence of n unit edge updates for
 // streaming: chunks are generated against an evolving private clone of g,
 // so deletions always target edges that exist by the time they are

@@ -43,6 +43,14 @@ type DifferentialConfig struct {
 	// batches so engines see the view flip from overlay-served to
 	// freshly compacted rows under them.
 	CheckCSR bool
+	// MigrationSize/MigrationRewire, when positive, mix a community-
+	// migration churn sub-batch into every batch (delta.MigrationBatch):
+	// a cluster of MigrationSize vertices is rewired with MigrationRewire
+	// edges each into a different community neighborhood. This is the
+	// drift schedule for adaptive re-layering: repeated migrations decay
+	// any frozen layering, so it stresses membership-migration paths in
+	// adaptive engines against the restart oracle.
+	MigrationSize, MigrationRewire int
 }
 
 // DefaultDifferentialConfig returns the full-size fuzz setup.
@@ -83,6 +91,20 @@ func CSRDifferentialConfig() DifferentialConfig {
 	c.DelVertices = 4
 	c.CSRCompactFraction = 0.01
 	c.CheckCSR = true
+	return c
+}
+
+// DriftDifferentialConfig returns the community-migration churn schedule:
+// every batch moves a vertex cluster into a different community
+// neighborhood on top of the usual edge/vertex churn, so frozen layerings
+// drift while adaptive ones migrate memberships each batch.
+func DriftDifferentialConfig() DifferentialConfig {
+	c := DefaultDifferentialConfig()
+	c.Seeds = []int64{31}
+	c.Batches = 8
+	c.BatchSize = 30
+	c.MigrationSize = 12
+	c.MigrationRewire = 4
 	return c
 }
 
@@ -128,6 +150,9 @@ func RunDifferential(t *testing.T, engines []NamedFactory, mkAlgo AlgoMaker, cfg
 			// every engine graph is in that same state, so delta.Apply nets
 			// out identically everywhere.
 			batch := genr.EdgeBatch(driver, cfg.BatchSize, cfg.Weighted)
+			if cfg.MigrationSize > 0 && cfg.MigrationRewire > 0 {
+				batch = append(batch, genr.MigrationBatch(driver, cfg.MigrationSize, cfg.MigrationRewire, cfg.Weighted)...)
+			}
 			if cfg.AddVertices+cfg.DelVertices > 0 {
 				batch = append(batch, genr.VertexBatch(driver, cfg.AddVertices, cfg.DelVertices, 2, cfg.Weighted)...)
 				batch = dropVertexZeroDeletes(batch)

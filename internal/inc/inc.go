@@ -64,6 +64,28 @@ type Stats struct {
 	// BoundaryPins counts cross-shard boundary values exchanged between
 	// shard engines (internal/shard only; 0 elsewhere).
 	BoundaryPins int64
+
+	// The layering-quality signal (Layph only; the drift controller in
+	// internal/stream reads these to decide when the two-layer structure
+	// has decayed enough to warrant a background full re-layer).
+
+	// TouchedSubgraphRatio is the fraction of dense subgraphs whose lower
+	// layers this update had to enter (0..1). The paper's whole advantage
+	// is confinement — a rising ratio means community drift is defeating
+	// the layering.
+	TouchedSubgraphRatio float64
+	// SkeletonFraction is the fraction of live vertices on the upper
+	// layer (entries, exits, outliers) after this update (0..1). A fat
+	// skeleton means the global iteration phase dominates.
+	SkeletonFraction float64
+	// ShortcutHitRate is the fraction of shortcut applications during
+	// assignment that improved the target state (0..1; idempotent scheme —
+	// the non-idempotent scheme applies every above-tolerance delta, so it
+	// reports ~1 and the gauge is diagnostic only there).
+	ShortcutHitRate float64
+	// MembershipMoves counts vertices migrated between communities by the
+	// incremental adjustment phase (Options.AdaptiveCommunities only).
+	MembershipMoves int64
 }
 
 // Add accumulates another update's record into s: counters and durations
@@ -73,9 +95,15 @@ type Stats struct {
 // duration-weighted mean of the two records.
 func (s *Stats) Add(o Stats) {
 	if s.Duration+o.Duration > 0 {
-		s.PoolUtilization = (s.PoolUtilization*float64(s.Duration) +
-			o.PoolUtilization*float64(o.Duration)) / float64(s.Duration+o.Duration)
+		w := func(a, b float64) float64 {
+			return (a*float64(s.Duration) + b*float64(o.Duration)) / float64(s.Duration+o.Duration)
+		}
+		s.PoolUtilization = w(s.PoolUtilization, o.PoolUtilization)
+		s.TouchedSubgraphRatio = w(s.TouchedSubgraphRatio, o.TouchedSubgraphRatio)
+		s.SkeletonFraction = w(s.SkeletonFraction, o.SkeletonFraction)
+		s.ShortcutHitRate = w(s.ShortcutHitRate, o.ShortcutHitRate)
 	}
+	s.MembershipMoves += o.MembershipMoves
 	s.Activations += o.Activations
 	s.Rounds += o.Rounds
 	s.Resets += o.Resets

@@ -468,6 +468,23 @@ type engineMetrics struct {
 	BoundaryPins int64 `json:"boundary_pins,omitempty"`
 }
 
+// relayerMetrics is the JSON shape of stream.RelayerMetrics — the adaptive
+// re-layering drift controller (see stream.RelayerConfig).
+type relayerMetrics struct {
+	FullRelayers     int64   `json:"full_relayers"`
+	InFlight         bool    `json:"in_flight"`
+	ReplayedBatches  int64   `json:"replayed_batches"`
+	TouchedRatioEWMA float64 `json:"touched_ratio_ewma"`
+	ShortcutHitEWMA  float64 `json:"shortcut_hit_ewma"`
+	SkeletonFraction float64 `json:"skeleton_fraction"`
+	SkeletonBaseline float64 `json:"skeleton_baseline"`
+	MembershipMoves  int64   `json:"membership_moves"`
+	LiveCommunities  int     `json:"live_communities,omitempty"`
+	CommunityIDs     int     `json:"community_ids,omitempty"`
+	LastSwapSeq      uint64  `json:"last_swap_seq"`
+	LastTrigger      string  `json:"last_trigger,omitempty"`
+}
+
 // walMetrics is the JSON shape of wal.Stats.
 type walMetrics struct {
 	Policy            string  `json:"policy"`
@@ -501,6 +518,9 @@ type metricsResponse struct {
 	Recovery *wal.RecoveryInfo `json:"recovery,omitempty"`
 	// Shards appears only on a sharded engine (see Server.AttachShards).
 	Shards []shard.Info `json:"shards,omitempty"`
+	// Relayer appears only when the stream runs the adaptive re-layering
+	// controller (StreamConfig.Relayer).
+	Relayer *relayerMetrics `json:"relayer,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -541,6 +561,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if src := s.shards.Load(); src != nil {
 		resp.Shards = (*src).ShardInfos()
+	}
+	if rl := m.Relayer; rl.Enabled {
+		resp.Relayer = &relayerMetrics{
+			FullRelayers:     rl.FullRelayers,
+			InFlight:         rl.InFlight,
+			ReplayedBatches:  rl.ReplayedBatches,
+			TouchedRatioEWMA: rl.TouchedRatioEWMA,
+			ShortcutHitEWMA:  rl.ShortcutHitEWMA,
+			SkeletonFraction: rl.SkeletonFraction,
+			SkeletonBaseline: rl.SkeletonBaseline,
+			MembershipMoves:  rl.MembershipMoves,
+			LiveCommunities:  rl.LiveCommunities,
+			CommunityIDs:     rl.CommunityIDs,
+			LastSwapSeq:      rl.LastSwapSeq,
+			LastTrigger:      rl.LastTrigger,
+		}
 	}
 	if l := s.wal.Load(); l != nil {
 		ws := l.Stats()

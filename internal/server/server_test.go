@@ -19,6 +19,7 @@ import (
 	"layph/internal/engine"
 	"layph/internal/gen"
 	"layph/internal/graph"
+	"layph/internal/inc"
 	"layph/internal/ingress"
 	"layph/internal/stream"
 )
@@ -438,5 +439,63 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if mr.Engine.SubgraphsParallel == 0 {
 		t.Fatal("pool-backed engine reported no subgraph tasks")
+	}
+}
+
+// TestMetricsRelayerBlock pins the /metrics contract of the drift
+// controller: no "relayer" key without a relayer configured, and a
+// populated block (with in-range quality gauges) when the stream runs one.
+func TestMetricsRelayerBlock(t *testing.T) {
+	// Plain daemon: the key must be absent entirely (omitempty), so the
+	// smoke job's `jq .relayer` check is meaningful.
+	plain := newTestDaemon(t, 14, stream.Config{MaxBatch: 50, MaxDelay: -1}, Config{})
+	if _, raw := doJSON(t, http.MethodGet, plain.ts.URL+"/metrics", "", nil, nil); strings.Contains(raw, "\"relayer\"") {
+		t.Fatalf("relayer block present without a relayer: %s", raw)
+	}
+
+	g, _ := gen.CommunityGraph(gen.CommunityConfig{
+		Vertices: 600, MeanCommunity: 25, IntraDegree: 6, InterDegree: 0.4,
+		Weighted: true, Seed: 15,
+	})
+	build := func(g2 *graph.Graph) inc.System {
+		return core.New(g2, algo.NewSSSP(0), core.Options{Workers: 2, AdaptiveCommunities: true})
+	}
+	st := stream.New(g, build(g), stream.Config{
+		MaxBatch: 50, MaxDelay: -1,
+		Relayer: &stream.RelayerConfig{Build: build},
+	})
+	srv := New(st, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); st.Close() }()
+
+	seq := delta.NewGenerator(16).UnitSequence(g, 400, true)
+	var buf bytes.Buffer
+	if err := delta.WriteUpdates(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/push", "", buf.Bytes(), nil); code != http.StatusOK {
+		t.Fatal("push failed")
+	}
+	if err := st.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var mr metricsResponse
+	if code, raw := doJSON(t, http.MethodGet, ts.URL+"/metrics", "", nil, &mr); code != http.StatusOK {
+		t.Fatalf("metrics: %d %s", code, raw)
+	}
+	if mr.Relayer == nil {
+		t.Fatal("relayer block missing with a relayer configured")
+	}
+	rl := mr.Relayer
+	if rl.TouchedRatioEWMA < 0 || rl.TouchedRatioEWMA > 1 {
+		t.Fatalf("touched_ratio_ewma out of range: %+v", rl)
+	}
+	if rl.SkeletonFraction <= 0 || rl.SkeletonFraction > 1 || rl.SkeletonBaseline <= 0 {
+		t.Fatalf("skeleton gauges out of range: %+v", rl)
+	}
+	if rl.FullRelayers != 0 || rl.InFlight {
+		// 8 tame batches under the default 16-batch cooldown must not
+		// trigger a rebuild.
+		t.Fatalf("relayer fired under the cooldown: %+v", rl)
 	}
 }

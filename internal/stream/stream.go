@@ -116,6 +116,12 @@ type Config struct {
 	// StartStats pre-loads the lifetime engine aggregate (Metrics.Engine),
 	// letting recovery fold the WAL tail's replay work into /metrics.
 	StartStats inc.Stats
+	// Relayer, when non-nil (and carrying a Build hook), enables the
+	// adaptive re-layering controller: layering-quality signals from each
+	// update feed drift thresholds, and decayed quality launches a
+	// background full re-layer that is atomically swapped in at a batch
+	// boundary. See RelayerConfig.
+	Relayer *RelayerConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -187,6 +193,9 @@ type Metrics struct {
 	// Engine aggregates the per-batch inc.Stats over the stream lifetime
 	// (including Config.StartStats, i.e. recovery replay work).
 	Engine inc.Stats
+	// Relayer reports the adaptive re-layering controller's state
+	// (Relayer.Enabled is false when no relayer is configured).
+	Relayer RelayerMetrics
 }
 
 type item struct {
@@ -221,9 +230,14 @@ type Stream struct {
 	logFailures metrics.Counter
 	window      *metrics.Rolling
 
-	mu     sync.Mutex // guards agg and durErr
+	mu     sync.Mutex // guards agg, durErr, rlm, and g/sys swaps
 	agg    inc.Stats
 	durErr error // first durability failure, sticky
+
+	// rl is the drift controller's worker-owned state (nil when disabled);
+	// rlm is the metrics copy it publishes under mu for readers.
+	rl  *relayerState
+	rlm RelayerMetrics
 }
 
 // New starts a stream over g driving sys. The system must already have
@@ -241,6 +255,14 @@ func New(g *graph.Graph, sys inc.System, cfg Config) *Stream {
 		done:   make(chan struct{}),
 		window: metrics.NewRolling(cfg.Window),
 		agg:    cfg.StartStats,
+	}
+	if cfg.Relayer != nil && cfg.Relayer.Build != nil {
+		s.rl = &relayerState{
+			cfg:     cfg.Relayer.withDefaults(),
+			resultC: make(chan relayerResult, 1),
+		}
+		s.rl.m.Enabled = true
+		s.rlm = s.rl.m
 	}
 	s.snap.Store(&Snapshot{
 		Seq: cfg.StartSeq, Updates: cfg.StartUpdates,
@@ -330,9 +352,14 @@ func (s *Stream) recordDurErr(err error) {
 }
 
 // Graph exposes the graph the stream mutates. It must not be touched
-// while the stream is running (the worker goroutine owns it); durability
+// while the stream is running (the worker goroutine owns it, and with a
+// relayer configured the identity changes at swap boundaries); durability
 // helpers use it after Close to cut a final checkpoint.
-func (s *Stream) Graph() *graph.Graph { return s.g }
+func (s *Stream) Graph() *graph.Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g
+}
 
 // Close drains the queue, flushes the pending micro-batch, publishes the
 // final snapshot and stops the worker. It is idempotent; only the first
@@ -362,6 +389,7 @@ func (s *Stream) Closed() bool { return s.closed.Load() }
 func (s *Stream) Metrics() Metrics {
 	s.mu.Lock()
 	agg := s.agg
+	rlm := s.rlm
 	s.mu.Unlock()
 	return Metrics{
 		Accepted:         s.accepted.Value(),
@@ -372,12 +400,18 @@ func (s *Stream) Metrics() Metrics {
 		MeanBatchLatency: s.window.MeanDuration(),
 		LogFailures:      s.logFailures.Value(),
 		Engine:           agg,
+		Relayer:          rlm,
 	}
 }
 
 // System exposes the driven engine (for Name etc.). The engine's live
-// state must not be read while the stream is running; use Query.
-func (s *Stream) System() inc.System { return s.sys }
+// state must not be read while the stream is running (a relayer swap also
+// changes the identity); use Query.
+func (s *Stream) System() inc.System {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys
+}
 
 func (s *Stream) loop() {
 	defer close(s.done)
@@ -450,6 +484,9 @@ func (s *Stream) loop() {
 		s.mu.Lock()
 		s.agg.Add(st)
 		s.mu.Unlock()
+		if s.rl != nil && !final {
+			s.relayerStep(batch, st, !applied.Empty(), snap)
+		}
 		if s.cfg.OnBatch != nil {
 			s.cfg.OnBatch(BatchResult{
 				Seq: snap.Seq, Size: len(batch),

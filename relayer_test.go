@@ -1,0 +1,166 @@
+package layph
+
+import (
+	"testing"
+	"time"
+)
+
+// pushAll feeds a batch into the stream as unit updates and drains it.
+func pushAll(t *testing.T, st *Stream, b Batch) {
+	t.Helper()
+	for _, u := range b {
+		if err := st.Push(u); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	if err := st.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// driftRound generates one community-migration churn round against the
+// driver graph (which tracks the stream's logical graph state).
+func driftRound(gen *BatchGenerator, driver *Graph) Batch {
+	b := gen.MigrationBatch(driver, 15, 4, true)
+	b = append(b, gen.EdgeBatch(driver, 40, true)...)
+	return b
+}
+
+// TestStreamRelayerSwapsUnderDrift runs the full pipeline: an adaptive
+// Layph engine behind a stream with the drift controller enabled, under
+// community-migration churn. It asserts that (a) at least one background
+// full re-layer completes and is swapped in mid-stream, (b) every drained
+// snapshot — before, across and after swaps — matches the restart oracle
+// on the same logical graph (the atomic-swap consistency check), and (c)
+// the relayer metrics are coherent.
+func TestStreamRelayerSwapsUnderDrift(t *testing.T) {
+	cfg := Config{Threads: 2, AdaptiveCommunities: true}
+	g := GenerateCommunityGraph(CommunityGraphConfig{
+		Vertices: 600, MeanCommunity: 30, IntraDegree: 6, InterDegree: 0.4,
+		Weighted: true, Seed: 11,
+	})
+	driver := g.Clone()
+	rc := LayphRelayer(SSSP(0), cfg)
+	rc.MinBatches = 2
+	rc.SkeletonGrowthFactor = 1.05
+	st := NewStream(g, NewLayph(g, SSSP(0), cfg), StreamConfig{
+		MaxBatch: 64, MaxDelay: -1, Relayer: rc,
+	})
+	defer st.Close()
+
+	gen := NewBatchGenerator(23)
+	check := func(round int) {
+		snap := st.Query()
+		want := Run(driver, SSSP(0), 2)
+		if len(snap.States) < driver.Cap() {
+			t.Fatalf("round %d: snapshot too short", round)
+		}
+		if !StatesClose(snap.States[:driver.Cap()], want, 1e-6) {
+			t.Fatalf("round %d: snapshot diverged from restart oracle", round)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		b := driftRound(gen, driver)
+		ApplyBatch(driver, b)
+		pushAll(t, st, b)
+		check(i)
+	}
+	// The drift rounds push skeleton fraction past the (aggressive)
+	// threshold; keep streaming small batches until the background build
+	// lands and is swapped in.
+	deadline := time.Now().Add(30 * time.Second)
+	for st.Metrics().Relayer.FullRelayers == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no full re-layer completed; relayer metrics: %+v", st.Metrics().Relayer)
+		}
+		b := gen.EdgeBatch(driver, 20, true)
+		ApplyBatch(driver, b)
+		pushAll(t, st, b)
+		check(-1)
+	}
+	// Post-swap: the stream must keep absorbing updates consistently on
+	// the fresh engine.
+	for i := 0; i < 3; i++ {
+		b := driftRound(gen, driver)
+		ApplyBatch(driver, b)
+		pushAll(t, st, b)
+		check(100 + i)
+	}
+	m := st.Metrics().Relayer
+	if !m.Enabled || m.FullRelayers < 1 {
+		t.Fatalf("relayer metrics incoherent: %+v", m)
+	}
+	if m.LastTrigger == "" {
+		t.Fatal("swap completed without a recorded trigger reason")
+	}
+	if m.TouchedRatioEWMA < 0 || m.TouchedRatioEWMA > 1 || m.SkeletonFraction <= 0 {
+		t.Fatalf("quality gauges out of range: %+v", m)
+	}
+}
+
+// TestStreamRelayerMinDeterminism pins the determinism contract with the
+// relayer enabled: background build *completion* is scheduling-dependent,
+// but the swap lands exactly SwapLagBatches applied batches after the
+// (deterministic) trigger, so which layering serves which batch is a pure
+// function of the input stream — identical inputs at a fixed thread count
+// must produce byte-identical drained snapshots and the same swap count.
+func TestStreamRelayerMinDeterminism(t *testing.T) {
+	run := func() ([]float64, int64) {
+		cfg := Config{Threads: 4, AdaptiveCommunities: true}
+		g := GenerateCommunityGraph(CommunityGraphConfig{
+			Vertices: 500, MeanCommunity: 25, IntraDegree: 6, InterDegree: 0.4,
+			Weighted: true, Seed: 31,
+		})
+		driver := g.Clone()
+		rc := LayphRelayer(SSSP(0), cfg)
+		rc.MinBatches = 1
+		rc.SkeletonGrowthFactor = 1.01
+		rc.SwapLagBatches = 2
+		st := NewStream(g, NewLayph(g, SSSP(0), cfg), StreamConfig{
+			MaxBatch: 32, MaxDelay: -1, Relayer: rc,
+		})
+		gen := NewBatchGenerator(77)
+		for i := 0; i < 8; i++ {
+			b := driftRound(gen, driver)
+			ApplyBatch(driver, b)
+			pushAll(t, st, b)
+		}
+		snap := st.Query()
+		out := append([]float64(nil), snap.States[:driver.Cap()]...)
+		swaps := st.Metrics().Relayer.FullRelayers
+		st.Close()
+		return out, swaps
+	}
+	want, wantSwaps := run()
+	if wantSwaps < 1 {
+		t.Fatalf("determinism run never swapped (FullRelayers=%d); thresholds too lax for the schedule", wantSwaps)
+	}
+	for rep := 0; rep < 2; rep++ {
+		got, swaps := run()
+		if swaps != wantSwaps {
+			t.Fatalf("rep %d: %d swaps, want %d (swap boundary not deterministic)", rep, swaps, wantSwaps)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("rep %d: length %d != %d", rep, len(got), len(want))
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("rep %d: vertex %d = %v, want %v (byte-identical contract broken with relayer on)", rep, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestStreamRelayerDisabledMetrics pins the off state: a stream without a
+// relayer reports Enabled=false and never swaps.
+func TestStreamRelayerDisabledMetrics(t *testing.T) {
+	g := demoGraph()
+	st := NewStream(g, NewLayph(g, SSSP(0), Config{Threads: 2}), StreamConfig{MaxBatch: 32, MaxDelay: -1})
+	defer st.Close()
+	gen := NewBatchGenerator(3)
+	pushAll(t, st, gen.EdgeBatch(g, 40, true))
+	m := st.Metrics().Relayer
+	if m.Enabled || m.FullRelayers != 0 || m.InFlight {
+		t.Fatalf("relayer should be disabled: %+v", m)
+	}
+}
